@@ -1,0 +1,40 @@
+"""Benchmark fixtures and output plumbing.
+
+Each benchmark regenerates one paper table/figure, times it with
+pytest-benchmark, and writes the regenerated rows/series (with the paper's
+published values alongside) to ``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.reconstruction import NetworkReconstructor
+from repro.synth.scenario import paper2020_scenario
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def scenario():
+    return paper2020_scenario()
+
+
+@pytest.fixture(scope="session")
+def reconstructor(scenario):
+    return NetworkReconstructor(scenario.corridor)
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    return OUTPUT_DIR
+
+
+def emit(output_dir: Path, name: str, text: str) -> None:
+    """Write a regenerated artefact and echo it to the terminal."""
+    path = output_dir / name
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n=== {name} ===\n{text}")

@@ -1,0 +1,145 @@
+"""Ablations over the methodology's modelling knobs (DESIGN.md §4).
+
+* APA slack factor (the paper's 5%),
+* fiber attachment policy ("last tower" vs all towers within 50 km),
+* per-tower repeater overhead (§3's JM-overtakes-NLN crossover at ~1.4 µs),
+* endpoint stitching tolerance,
+* fiber-tail radius.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.ablations import (
+    apa_slack_sweep,
+    fiber_mode_comparison,
+    fiber_radius_sweep,
+    per_tower_overhead_crossover,
+    stitch_tolerance_sweep,
+)
+from repro.analysis.report import format_table
+
+from conftest import emit
+
+
+def test_bench_apa_slack(benchmark, scenario, output_dir):
+    sweep = benchmark(apa_slack_sweep, scenario)
+    emit(
+        output_dir,
+        "ablation_apa_slack.txt",
+        format_table(
+            ("slack", "NLN APA %"),
+            [(f"{s:.2f}", v) for s, v in sorted(sweep.items())],
+            title="Ablation: APA vs latency-slack factor",
+        ),
+    )
+    values = [sweep[s] for s in sorted(sweep)]
+    assert all(a <= b for a, b in zip(values, values[1:]))
+    assert sweep[1.05] == 54
+
+
+def test_bench_fiber_mode(benchmark, scenario, output_dir):
+    comparison = benchmark(fiber_mode_comparison, scenario)
+    emit(
+        output_dir,
+        "ablation_fiber_mode.txt",
+        format_table(
+            ("fiber attachment", "NLN APA %"),
+            sorted(comparison.items()),
+            title="Ablation: 'last tower' vs all-towers fiber tails",
+        ),
+    )
+    assert comparison["nearest"] == 54
+    assert comparison["all"] > comparison["nearest"]
+
+
+def test_bench_overhead_crossover(benchmark, scenario, output_dir):
+    results = benchmark(per_tower_overhead_crossover, scenario)
+    emit(
+        output_dir,
+        "ablation_overhead.txt",
+        format_table(
+            ("overhead us/tower", "leader", "NLN ms", "JM ms"),
+            [
+                (
+                    f"{r.overhead_us:.1f}",
+                    r.leader,
+                    f"{r.latency_ms['New Line Networks']:.5f}",
+                    f"{r.latency_ms['Jefferson Microwave']:.5f}",
+                )
+                for r in results
+            ],
+            title="Ablation: per-tower overhead crossover (paper §3: ~1.4 us)",
+        ),
+    )
+    leaders = {r.overhead_us: r.leader for r in results}
+    assert leaders[0.0] == "New Line Networks"
+    assert leaders[3.0] == "Jefferson Microwave"
+    # The flip happens between 1.0 and 2.0 us — bracketing the paper's 1.4.
+    assert leaders[1.0] == "New Line Networks"
+    assert leaders[2.0] == "Jefferson Microwave"
+
+
+def test_bench_stitch_tolerance(benchmark, scenario, output_dir):
+    sweep = benchmark(stitch_tolerance_sweep, scenario)
+    emit(
+        output_dir,
+        "ablation_stitch.txt",
+        format_table(
+            ("tolerance m", "towers", "connected"),
+            [
+                (f"{tol:g}", towers, connected)
+                for tol, (towers, connected) in sorted(sweep.items())
+            ],
+            title="Ablation: stitching tolerance",
+        ),
+    )
+    assert sweep[30.0][1] is True  # the default works
+
+
+def test_bench_fiber_radius(benchmark, scenario, output_dir):
+    sweep = benchmark(fiber_radius_sweep, scenario)
+    emit(
+        output_dir,
+        "ablation_fiber_radius.txt",
+        format_table(
+            ("fiber reach km", "connected networks"),
+            sorted(sweep.items()),
+            title="Ablation: fiber-tail radius vs connectivity",
+        ),
+    )
+    counts = [sweep[r] for r in sorted(sweep)]
+    assert all(a <= b for a, b in zip(counts, counts[1:]))
+    assert sweep[50.0] == 9
+
+
+def test_bench_ranking_stability(benchmark, scenario, output_dir):
+    """§6: bound what radio-technology differences could do to Table 1."""
+    from repro.analysis.stability import ranking_stability
+
+    report = benchmark(ranking_stability, scenario, 3.0)
+    rows = [
+        (flip.faster_at_zero, flip.slower_at_zero, f"{flip.crossover_us:.2f}")
+        for flip in report.flips
+    ]
+    emit(
+        output_dir,
+        "ablation_stability.txt",
+        format_table(
+            ("Faster at 0 overhead", "Overtakes at", "crossover us/tower"),
+            rows,
+            title=(
+                "Ranking flips for per-tower overhead in (0, 3] us — "
+                f"order at 0: {' > '.join(report.order_at_zero[:3])}; "
+                f"order at 3 us: {' > '.join(report.order_at_max[:3])}"
+            ),
+        ),
+    )
+    # The paper's JM-over-NLN crossover at ~1.4 us is among the flips.
+    jm_flip = next(
+        flip
+        for flip in report.flips
+        if {flip.faster_at_zero, flip.slower_at_zero}
+        == {"New Line Networks", "Jefferson Microwave"}
+    )
+    assert abs(jm_flip.crossover_us - 1.42) < 0.05
+    assert report.order_at_max[0] == "Jefferson Microwave"

@@ -1,0 +1,101 @@
+"""§6 design takeaways as an experiment (cISP-style, DESIGN.md §4).
+
+Sweeps the site-lease budget on the CME–NY4 corridor and designs a
+network at each point: latency-optimal trunk (RCSP over a candidate-site
+pool) plus greedy 6 GHz bypass augmentation.  Expected shape:
+
+* latency falls towards the c-bound as the budget grows (the race of §1);
+* APA and storm survival rise once redundancy budget is available;
+* 6 GHz alternates out-survive an 11 GHz-alternate ablation.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.core.corridor import CME, NY4
+from repro.design.evaluate import (
+    NetworkDesign,
+    corridor_endpoints,
+    evaluate_design,
+    latency_lower_bound_ms,
+)
+from repro.design.redundancy import augment_with_bypasses
+from repro.design.sites import CandidateSite, generate_site_pool
+from repro.design.trunk import design_trunk
+from repro.geodesy.path import offset_point
+
+from conftest import emit
+
+TRUNK_BUDGETS = (36.0, 40.0, 45.0, 60.0)
+BYPASS_BUDGET = 18.0
+
+
+def _design_sweep():
+    pool = generate_site_pool(CME.point, NY4.point, n_sites=400, seed=3)
+    west_gw = CandidateSite(
+        "gw-west", offset_point(CME.point, NY4.point, 0.0008, 0.0), 3.0, 0.0
+    )
+    east_gw = CandidateSite(
+        "gw-east", offset_point(CME.point, NY4.point, 0.9992, 0.0), 3.0, 0.0
+    )
+    west, east = corridor_endpoints(CME.point, NY4.point)
+    reports = {}
+    for budget in TRUNK_BUDGETS:
+        trunk = design_trunk(pool, west_gw, east_gw, budget=budget)
+        bypasses = tuple(augment_with_bypasses(trunk, pool, budget=BYPASS_BUDGET))
+        design = NetworkDesign(trunk=trunk, bypasses=bypasses, west=west, east=east)
+        reports[budget] = evaluate_design(design, n_storms=15)
+        if budget == TRUNK_BUDGETS[-1]:
+            high_band = tuple(
+                augment_with_bypasses(trunk, pool, budget=BYPASS_BUDGET, band_ghz=11.0)
+            )
+            reports["11GHz-alternates"] = evaluate_design(
+                NetworkDesign(trunk=trunk, bypasses=high_band, west=west, east=east),
+                n_storms=15,
+            )
+            reports["no-bypasses"] = evaluate_design(
+                NetworkDesign(trunk=trunk, bypasses=(), west=west, east=east),
+                n_storms=15,
+            )
+    return reports
+
+
+def test_bench_design(benchmark, output_dir):
+    reports = benchmark(_design_sweep)
+    bound = latency_lower_bound_ms(CME.point, NY4.point)
+    rows = [
+        (
+            str(key),
+            f"{report.latency_ms:.5f}",
+            f"{report.latency_ms - bound:+.5f}",
+            f"{report.apa:.0%}",
+            f"{report.storm_survival:.0%}",
+            report.tower_count,
+            f"{report.total_cost:.1f}",
+        )
+        for key, report in reports.items()
+    ]
+    emit(
+        output_dir,
+        "design.txt",
+        format_table(
+            ("Design", "ms", "vs c-bound", "APA", "storm up", "towers", "cost"),
+            rows,
+            title=f"§6 design sweep (c-bound {bound:.5f} ms)",
+        ),
+    )
+
+    # Latency improves monotonically with trunk budget.
+    latencies = [reports[budget].latency_ms for budget in TRUNK_BUDGETS]
+    assert all(a > b for a, b in zip(latencies, latencies[1:]))
+    # The richest design is competitive with the real race leaders.
+    assert reports[60.0].latency_ms < 3.975
+    # Redundancy: bypassed designs dominate the bare trunk on APA and
+    # storm survival; 6 GHz alternates survive at least as well as 11 GHz.
+    assert reports["no-bypasses"].apa == 0.0
+    assert reports[60.0].apa >= 0.8
+    assert reports[60.0].storm_survival >= reports["no-bypasses"].storm_survival
+    assert (
+        reports[60.0].storm_survival
+        >= reports["11GHz-alternates"].storm_survival
+    )

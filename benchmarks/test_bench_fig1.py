@@ -1,0 +1,62 @@
+"""Fig 1: evolution of end-to-end CME–NY4 latency, 2013 → 2020-04-01.
+
+Paper shape: the minimum falls from 4.00 ms (2013) to 3.962 ms (2020);
+National Tower Company disappears after 2016; Pierce Broadband appears
+only in 2020; NLN is fastest from 2018 onwards.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figures import fig1_latency_evolution
+from repro.analysis.report import format_latency_ms, format_table
+from repro.viz.figdata import write_series_dat
+from repro.viz.paperfigs import fig1_chart
+
+from conftest import emit
+
+
+def test_bench_fig1(benchmark, scenario, output_dir):
+    series = benchmark(fig1_latency_evolution, scenario)
+    dates = [point.date for point in next(iter(series.values()))]
+    rows = [
+        (name, *(format_latency_ms(p.latency_ms, 4) for p in points))
+        for name, points in series.items()
+    ]
+    emit(
+        output_dir,
+        "fig1.txt",
+        format_table(
+            ("Licensee", *(d.isoformat() for d in dates)),
+            rows,
+            title="Fig 1: latency (ms) over time, CME-NY4",
+        ),
+    )
+    write_series_dat(
+        output_dir / "fig1.dat",
+        {
+            name: [
+                (p.date.year + (p.date.month - 1) / 12.0, p.latency_ms)
+                for p in points
+                if p.latency_ms is not None
+            ]
+            for name, points in series.items()
+        },
+        header="Fig 1: end-to-end latency (ms), CME-NY4",
+    )
+    fig1_chart(series).render(output_dir / "fig1.svg")
+
+    by_year = {
+        name: {p.date.year: p.latency_ms for p in points}
+        for name, points in series.items()
+    }
+    minima_2013 = min(
+        v for v in (y.get(2013) for y in by_year.values()) if v is not None
+    )
+    minima_2020 = min(
+        v for v in (y.get(2020) for y in by_year.values()) if v is not None
+    )
+    assert abs(minima_2013 - 4.002) < 0.003  # paper: 4.00 ms in 2013
+    assert abs(minima_2020 - 3.96171) < 1e-4  # paper: 3.962 ms in 2020
+    assert by_year["National Tower Company"][2018] is None
+    assert by_year["Pierce Broadband"][2019] is None
+    assert by_year["Pierce Broadband"][2020] is not None

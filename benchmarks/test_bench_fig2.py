@@ -1,0 +1,60 @@
+"""Fig 2: active license counts over time for the Fig-1 networks.
+
+Paper shape: NTC ramps to ~160 then winds down to 0 by 2018; NLN reaches
+95 by 2016-01-01 and ~150 by 2018; PB has by far the fewest licenses.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+
+from repro.analysis.figures import fig2_active_licenses
+from repro.analysis.report import format_table
+from repro.viz.figdata import write_series_dat
+from repro.viz.paperfigs import fig2_chart
+
+from conftest import emit
+
+
+def test_bench_fig2(benchmark, scenario, output_dir):
+    series = benchmark(fig2_active_licenses, scenario)
+    dates = next(iter(series.values())).dates
+    rows = [
+        (name, *(str(count) for count in counts.counts))
+        for name, counts in series.items()
+    ]
+    emit(
+        output_dir,
+        "fig2.txt",
+        format_table(
+            ("Licensee", *(d.isoformat() for d in dates)),
+            rows,
+            title="Fig 2: active licenses over time",
+        ),
+    )
+    write_series_dat(
+        output_dir / "fig2.dat",
+        {
+            name: [
+                (date.year + (date.month - 1) / 12.0, float(count))
+                for date, count in counts.as_pairs()
+            ]
+            for name, counts in series.items()
+        },
+        header="Fig 2: active license counts",
+    )
+    fig2_chart(series).render(output_dir / "fig2.svg")
+
+    ntc = dict(series["National Tower Company"].as_pairs())
+    nln = dict(series["New Line Networks"].as_pairs())
+    pb = dict(series["Pierce Broadband"].as_pairs())
+    assert ntc[dt.date(2015, 1, 1)] == 160
+    assert ntc[dt.date(2018, 1, 1)] == 0
+    assert nln[dt.date(2016, 1, 1)] == 95
+    assert nln[dt.date(2018, 1, 1)] == 150
+    final = {
+        name: counts.counts[-1]
+        for name, counts in series.items()
+        if name != "National Tower Company"
+    }
+    assert min(final, key=final.get) == "Pierce Broadband"

@@ -1,0 +1,60 @@
+"""Fig 3: New Line Networks' network map, 2016-01-01 vs 2020-04-01.
+
+Paper shape: the 2020 network has "significantly more towers with
+multiple possible physical paths" than the 2016 one, plus disconnected /
+detour links.  Output: SVG + GeoJSON renderings per snapshot.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+
+from repro.analysis.figures import fig3_network_maps
+from repro.analysis.report import format_table
+from repro.core.reconstruction import NetworkReconstructor
+from repro.viz.svgmap import render_corridor_svg
+
+from conftest import emit
+
+
+def test_bench_fig3(benchmark, scenario, output_dir):
+    artifacts = benchmark(
+        fig3_network_maps, scenario, output_dir=output_dir / "fig3"
+    )
+    rows = [
+        (
+            artifact.as_of.isoformat(),
+            artifact.tower_count,
+            artifact.link_count,
+            artifact.svg_path.name,
+            artifact.geojson_path.name,
+        )
+        for artifact in artifacts
+    ]
+    emit(
+        output_dir,
+        "fig3.txt",
+        format_table(
+            ("Snapshot", "Towers", "MW links", "SVG", "GeoJSON"),
+            rows,
+            title="Fig 3: NLN network maps",
+        ),
+    )
+    early, late = artifacts
+    assert early.as_of == dt.date(2016, 1, 1)
+    assert late.as_of == dt.date(2020, 4, 1)
+    # Network augmentation: more towers and redundant links by 2020.
+    assert late.tower_count > early.tower_count
+    assert late.link_count > early.link_count
+    assert late.svg_path.stat().st_size > 0
+    assert late.geojson_path.stat().st_size > 0
+
+    # Bonus artefact: every connected network on one map.
+    reconstructor = NetworkReconstructor(scenario.corridor)
+    networks = [
+        reconstructor.reconstruct_licensee(scenario.database, name, dt.date(2020, 4, 1))
+        for name in scenario.connected_names
+    ]
+    overview = output_dir / "fig3" / "corridor_overview.svg"
+    render_corridor_svg(networks, path=overview)
+    assert overview.stat().st_size > 0

@@ -1,0 +1,55 @@
+"""Fig 4(a): CDFs of tower-to-tower link lengths on near-optimal
+CME–NY4 paths, WH vs NLN.
+
+Paper: "The median length for WH (36 km) is 26% lower than NLN
+(48.5 km)".
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figures import fig4a_link_length_cdfs
+from repro.analysis.report import format_table
+from repro.metrics.cdf import EmpiricalCdf
+from repro.viz.figdata import write_cdf_dat
+from repro.viz.paperfigs import fig4a_chart
+
+from conftest import emit
+
+PAPER_MEDIANS = {"Webline Holdings": 36.0, "New Line Networks": 48.5}
+
+
+def test_bench_fig4a(benchmark, scenario, output_dir):
+    samples = benchmark(fig4a_link_length_cdfs, scenario)
+    rows = []
+    for name, lengths in samples.items():
+        cdf = EmpiricalCdf(lengths)
+        rows.append(
+            (
+                name,
+                len(lengths),
+                f"{cdf.median:.1f}",
+                f"{PAPER_MEDIANS[name]:.1f}",
+                f"{cdf.quantile(0.9):.1f}",
+            )
+        )
+    emit(
+        output_dir,
+        "fig4a.txt",
+        format_table(
+            ("Network", "n links", "median km", "paper", "p90 km"),
+            rows,
+            title="Fig 4a: link lengths on near-optimal CME-NY4 paths",
+        ),
+    )
+    write_cdf_dat(
+        output_dir / "fig4a.dat",
+        {("WH" if "Webline" in k else "NLN"): v for k, v in samples.items()},
+        header="Fig 4a: CDF of MW link lengths (km)",
+    )
+    fig4a_chart(samples).render(output_dir / "fig4a.svg")
+
+    wh = EmpiricalCdf(samples["Webline Holdings"]).median
+    nln = EmpiricalCdf(samples["New Line Networks"]).median
+    assert abs(wh - 36.0) < 2.5
+    assert abs(nln - 48.5) < 2.5
+    assert (nln - wh) / nln > 0.18  # paper: WH ~26% lower

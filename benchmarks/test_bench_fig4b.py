@@ -1,0 +1,53 @@
+"""Fig 4(b): CDFs of operating frequencies on shortest paths (WH, NLN)
+and NLN's alternate paths.
+
+Paper: "WH primarily uses the 6 GHz frequency band, with more than 94% of
+the frequencies being under 7 GHz, while NLN primarily uses the 11 GHz
+band ... On [NLN's alternate] paths, at least 18% of the frequencies lie
+in the 6 GHz frequency band."
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figures import fig4b_frequency_cdfs
+from repro.analysis.report import format_table
+from repro.metrics.frequencies import fraction_below_ghz
+from repro.viz.figdata import write_cdf_dat
+from repro.viz.paperfigs import fig4b_chart
+
+from conftest import emit
+
+
+def test_bench_fig4b(benchmark, scenario, output_dir):
+    samples = benchmark(fig4b_frequency_cdfs, scenario)
+    rows = []
+    for name, freqs in samples.items():
+        below_7 = fraction_below_ghz(freqs, 7.0)
+        rows.append(
+            (
+                name,
+                len(freqs),
+                f"{100 * below_7:.1f}%",
+                f"{min(freqs):.2f}",
+                f"{max(freqs):.2f}",
+            )
+        )
+    emit(
+        output_dir,
+        "fig4b.txt",
+        format_table(
+            ("Series", "n freqs", "<7 GHz", "min GHz", "max GHz"),
+            rows,
+            title="Fig 4b: operating frequencies, CME-NY4",
+        ),
+    )
+    write_cdf_dat(
+        output_dir / "fig4b.dat",
+        samples,
+        header="Fig 4b: CDF of operating frequencies (GHz)",
+    )
+    fig4b_chart(samples).render(output_dir / "fig4b.svg")
+
+    assert fraction_below_ghz(samples["WH"], 7.0) > 0.94
+    assert fraction_below_ghz(samples["NLN"], 7.0) == 0.0
+    assert fraction_below_ghz(samples["NLN-alternate"], 7.0) >= 0.18

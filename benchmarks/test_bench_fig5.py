@@ -1,0 +1,73 @@
+"""Fig 5: satellites versus terrestrial MW networks.
+
+Paper shape: "The overhead of going up and down even a few hundred
+kilometres for LEO connectivity will still mean that MW networks provide
+lower latency.  However, this may not be the case across the ocean" —
+LEO beats fiber over long-enough distances (e.g. Frankfurt–Washington).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figures import fig5_leo_comparison
+from repro.analysis.report import format_table
+from repro.geodesy import geodesic_distance
+from repro.leo.constellation import STARLINK_SHELL, Constellation
+from repro.leo.latency import (
+    constellation_latency_s,
+    fiber_latency_s,
+    leo_fiber_crossover_km,
+    microwave_latency_s,
+    transatlantic_endpoints,
+)
+from repro.viz.figdata import write_series_dat
+from repro.viz.paperfigs import fig5_chart
+
+from conftest import emit
+
+
+def test_bench_fig5(benchmark, scenario, output_dir):
+    points = benchmark(fig5_leo_comparison)
+    rows = [
+        (
+            f"{p.distance_km:.0f}",
+            f"{p.microwave_ms:.3f}",
+            f"{p.leo_550_ms:.3f}",
+            f"{p.leo_300_ms:.3f}",
+            f"{p.fiber_ms:.3f}",
+            "MW" if p.microwave_beats_leo else "LEO",
+        )
+        for p in points
+        if p.distance_km % 1000 == 0
+    ]
+    emit(
+        output_dir,
+        "fig5.txt",
+        format_table(
+            ("km", "MW ms", "LEO550 ms", "LEO300 ms", "fiber ms", "fastest"),
+            rows,
+            title="Fig 5: terrestrial MW vs LEO vs fiber (one-way)",
+        ),
+    )
+    write_series_dat(
+        output_dir / "fig5.dat",
+        {
+            "MW": [(p.distance_km, p.microwave_ms) for p in points],
+            "LEO-550": [(p.distance_km, p.leo_550_ms) for p in points],
+            "LEO-300": [(p.distance_km, p.leo_300_ms) for p in points],
+            "fiber": [(p.distance_km, p.fiber_ms) for p in points],
+        },
+        header="Fig 5: one-way latency (ms) vs ground distance (km)",
+    )
+    fig5_chart(points).render(output_dir / "fig5.svg")
+
+    # Terrestrial scales: MW wins everywhere in the sweep.
+    assert all(p.microwave_ms < p.leo_550_ms for p in points)
+    assert all(p.microwave_ms < p.leo_300_ms for p in points)
+    # Oceanic scales: LEO beats fiber beyond a sub-1000-km crossover, and
+    # a concrete constellation beats fiber on Frankfurt-Washington.
+    assert leo_fiber_crossover_km(550_000.0) < 1_000.0
+    frankfurt, washington = transatlantic_endpoints()
+    distance = geodesic_distance(frankfurt, washington)
+    exact = constellation_latency_s(Constellation(STARLINK_SHELL), frankfurt, washington)
+    assert exact < fiber_latency_s(distance)
+    assert exact > microwave_latency_s(distance)  # MW would win, were it buildable

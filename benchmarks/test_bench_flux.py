@@ -1,0 +1,47 @@
+"""§3/§4 longitudinal claims: leadership flux and the unreachable bound.
+
+Paper: "the rankings are still in flux" and "the minimum achievable
+latency of 3.955 ms has not been reached" after eight years of
+competition.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+
+from repro.analysis.flux import race_history
+from repro.analysis.report import format_table
+
+from conftest import emit
+
+
+def test_bench_flux(benchmark, scenario, output_dir):
+    history = benchmark(race_history, scenario)
+    rows = [
+        (date.isoformat(), leader or "—", "—" if gap is None else f"{gap:+.1f}")
+        for (date, leader), (_, gap) in zip(
+            history.leaders, history.gap_to_bound_us()
+        )
+    ]
+    emit(
+        output_dir,
+        "flux.txt",
+        format_table(
+            ("Snapshot", "Fastest network", "Gap to c-bound (us)"),
+            rows,
+            title=(
+                f"The race over time — {history.leadership_changes} leadership "
+                f"changes; bound {history.bound_ms:.5f} ms never reached"
+            ),
+        ),
+    )
+    # Leadership runs NTC -> JM -> NLN ("shortest path by 2018").
+    leaders = dict(history.leaders)
+    assert leaders[dt.date(2013, 1, 1)] == "National Tower Company"
+    assert leaders[dt.date(2016, 1, 1)] == "Jefferson Microwave"
+    assert leaders[dt.date(2018, 1, 1)] == "New Line Networks"
+    assert history.leadership_changes == 2
+    # The c-bound is approached monotonically but never reached.
+    gaps = [gap for _, gap in history.gap_to_bound_us() if gap is not None]
+    assert all(a >= b for a, b in zip(gaps, gaps[1:]))
+    assert gaps[-1] > 0.0

@@ -1,0 +1,36 @@
+"""§2.2 scraping funnel: 57 candidates → 29 shortlisted → 9 connected.
+
+Paper: "this search uncovers 57 candidate licensees ... we are left with
+29 licensees ... We found 9 connected networks between CME and Equinix
+NY4, as of 1st April, 2020."
+"""
+
+from __future__ import annotations
+
+from repro.analysis.funnel import run_scraping_funnel
+from repro.analysis.report import format_table
+
+from conftest import emit
+
+PAPER_COUNTS = (57, 29, 9)
+
+
+def test_bench_funnel(benchmark, scenario, output_dir):
+    result = benchmark(
+        run_scraping_funnel,
+        scenario.database,
+        scenario.corridor,
+        scenario.snapshot_date,
+    )
+    rows = [
+        ("candidate licensees (geo + MG/FXO)", result.counts[0], PAPER_COUNTS[0]),
+        ("shortlisted (>= 11 filings)", result.counts[1], PAPER_COUNTS[1]),
+        ("connected CME-NY4 on 2020-04-01", result.counts[2], PAPER_COUNTS[2]),
+    ]
+    emit(
+        output_dir,
+        "funnel.txt",
+        format_table(("Stage", "Measured", "Paper"), rows, title="§2.2 funnel")
+        + f"\npages scraped: {result.pages_scraped}",
+    )
+    assert result.counts == PAPER_COUNTS

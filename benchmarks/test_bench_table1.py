@@ -1,0 +1,62 @@
+"""Table 1: connected networks ordered by estimated one-way CME–NY4
+latency, with APA and shortest-path tower counts (as of 2020-04-01)."""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.analysis.tables import table1_connected_networks
+
+from conftest import emit
+
+#: licensee -> (latency ms, APA %, #towers) as printed in the paper.
+PAPER = {
+    "New Line Networks": (3.96171, 54, 25),
+    "Pierce Broadband": (3.96209, 7, 29),
+    "Jefferson Microwave": (3.96597, 73, 22),
+    "Blueline Comm": (3.96940, 0, 29),
+    "Webline Holdings": (3.97157, 85, 27),
+    "AQ2AT": (4.01101, 0, 29),
+    "Wireless Internetwork": (4.12246, 0, 33),
+    "GTT Americas": (4.24241, 0, 28),
+    "SW Networks": (4.44530, 0, 74),
+}
+
+
+def test_bench_table1(benchmark, scenario, output_dir):
+    rankings = benchmark(table1_connected_networks, scenario)
+    rows = []
+    for ranking in rankings:
+        paper_latency, paper_apa, paper_towers = PAPER[ranking.licensee]
+        rows.append(
+            (
+                ranking.licensee,
+                f"{ranking.latency_ms:.5f}",
+                f"{paper_latency:.5f}",
+                ranking.apa_percent,
+                paper_apa,
+                ranking.tower_count,
+                paper_towers,
+            )
+        )
+    emit(
+        output_dir,
+        "table1.txt",
+        format_table(
+            (
+                "Licensee",
+                "Latency (ms)",
+                "paper",
+                "APA %",
+                "paper",
+                "#Towers",
+                "paper",
+            ),
+            rows,
+            title="Table 1: connected networks, CME-NY4, 2020-04-01",
+        ),
+    )
+    # Ordering and headline magnitudes must match the paper.
+    assert [r.licensee for r in rankings] == list(PAPER)
+    for ranking in rankings:
+        assert abs(ranking.latency_ms - PAPER[ranking.licensee][0]) < 5e-5
+        assert ranking.tower_count == PAPER[ranking.licensee][2]

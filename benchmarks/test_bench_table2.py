@@ -1,0 +1,72 @@
+"""Table 2: the fastest three networks per corridor path, with geodesic
+distances between the data centers."""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.analysis.tables import table2_top_networks
+
+from conftest import emit
+
+PAPER = {
+    ("CME", "NY4"): (
+        1186,
+        [
+            ("New Line Networks", 3.96171),
+            ("Pierce Broadband", 3.96209),
+            ("Jefferson Microwave", 3.96597),
+        ],
+    ),
+    ("CME", "NYSE"): (
+        1174,
+        [
+            ("New Line Networks", 3.93209),
+            ("Jefferson Microwave", 3.94021),
+            ("Blueline Comm", 3.95866),
+        ],
+    ),
+    ("CME", "NASDAQ"): (
+        1176,
+        [
+            ("New Line Networks", 3.92728),
+            ("Webline Holdings", 3.92805),
+            ("Jefferson Microwave", 3.92828),
+        ],
+    ),
+}
+
+
+def test_bench_table2(benchmark, scenario, output_dir):
+    results = benchmark(table2_top_networks, scenario)
+    rows = []
+    for path_ranking in results:
+        key = (path_ranking.source, path_ranking.target)
+        paper_km, paper_top = PAPER[key]
+        for rank, (entry, (paper_name, paper_ms)) in enumerate(
+            zip(path_ranking.top, paper_top), start=1
+        ):
+            rows.append(
+                (
+                    f"{key[0]}-{key[1]}",
+                    f"{path_ranking.geodesic_km:.0f}/{paper_km}",
+                    rank,
+                    entry.licensee,
+                    paper_name,
+                    f"{entry.latency_ms:.5f}",
+                    f"{paper_ms:.5f}",
+                )
+            )
+    emit(
+        output_dir,
+        "table2.txt",
+        format_table(
+            ("Path", "km/paper", "Rank", "Licensee", "paper", "ms", "paper"),
+            rows,
+            title="Table 2: fastest networks per path, 2020-04-01",
+        ),
+    )
+    for path_ranking in results:
+        _, paper_top = PAPER[(path_ranking.source, path_ranking.target)]
+        assert [e.licensee for e in path_ranking.top] == [n for n, _ in paper_top]
+        for entry, (_, paper_ms) in zip(path_ranking.top, paper_top):
+            assert abs(entry.latency_ms - paper_ms) < 5e-5

@@ -1,0 +1,45 @@
+"""Table 3: alternate path availability, NLN vs WH, per corridor path."""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.analysis.tables import table3_apa
+
+from conftest import emit
+
+PAPER = {
+    ("CME", "NY4"): {"New Line Networks": 54, "Webline Holdings": 85},
+    ("CME", "NYSE"): {"New Line Networks": 58, "Webline Holdings": 92},
+    ("CME", "NASDAQ"): {"New Line Networks": 30, "Webline Holdings": 80},
+}
+
+
+def test_bench_table3(benchmark, scenario, output_dir):
+    results = benchmark(table3_apa, scenario)
+    rows = []
+    for row in results:
+        paper = PAPER[row.path]
+        rows.append(
+            (
+                f"{row.path[0]}-{row.path[1]}",
+                f"{row.values['New Line Networks']}%",
+                f"{paper['New Line Networks']}%",
+                f"{row.values['Webline Holdings']}%",
+                f"{paper['Webline Holdings']}%",
+            )
+        )
+    emit(
+        output_dir,
+        "table3.txt",
+        format_table(
+            ("Path", "NLN", "paper", "WH", "paper"),
+            rows,
+            title="Table 3: alternate path availability",
+        ),
+    )
+    for row in results:
+        paper = PAPER[row.path]
+        # Shape: WH dominates NLN on every path, values within 2pp.
+        assert row.values["Webline Holdings"] > row.values["New Line Networks"]
+        for name, value in row.values.items():
+            assert abs(value - paper[name]) <= 2

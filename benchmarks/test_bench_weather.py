@@ -1,0 +1,135 @@
+"""§5 extension: weather-dependent effective latency.
+
+The paper argues WH's design (higher APA, shorter links, lower
+frequencies) buys reliability: "one network may be able to dominate
+another in fair weather ... but a more reliable network may be faster at
+other times."  This bench quantifies that: across a seeded ensemble of
+storms, NLN wins in fair weather but WH wins (or is the only one
+standing) in a measurable fraction of storms.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.metrics.effective_latency import (
+    route_availability,
+    storm_winner,
+    weather_latency_profile,
+)
+from repro.synth.weather import random_storm, storm_latency_ms
+
+from conftest import emit
+
+N_STORMS = 40
+
+
+def _storm_outcomes(scenario, reconstructor):
+    date = scenario.snapshot_date
+    nln = reconstructor.reconstruct_licensee(
+        scenario.database, "New Line Networks", date
+    )
+    wh = reconstructor.reconstruct_licensee(
+        scenario.database, "Webline Holdings", date
+    )
+    corridor = (
+        scenario.corridor.site("CME").point,
+        scenario.corridor.site("NY4").point,
+    )
+    outcomes = []
+    for seed in range(N_STORMS):
+        storm = random_storm(
+            seed, corridor, n_cells=4, peak_mm_h=(60.0, 170.0)
+        )
+        outcomes.append(
+            (
+                storm_latency_ms(nln, storm, "CME", "NY4"),
+                storm_latency_ms(wh, storm, "CME", "NY4"),
+            )
+        )
+    return outcomes
+
+
+def test_bench_weather(benchmark, scenario, reconstructor, output_dir):
+    outcomes = benchmark(_storm_outcomes, scenario, reconstructor)
+    nln_down = sum(1 for nln, _ in outcomes if nln is None)
+    wh_down = sum(1 for _, wh in outcomes if wh is None)
+    wh_wins = sum(
+        1
+        for nln, wh in outcomes
+        if wh is not None and (nln is None or wh < nln)
+    )
+    nln_wins = sum(
+        1
+        for nln, wh in outcomes
+        if nln is not None and (wh is None or nln < wh)
+    )
+    rows = [
+        ("storms simulated", N_STORMS),
+        ("NLN disconnected", nln_down),
+        ("WH disconnected", wh_down),
+        ("WH faster (or only one up)", wh_wins),
+        ("NLN faster (or only one up)", nln_wins),
+    ]
+    emit(
+        output_dir,
+        "weather.txt",
+        format_table(("Outcome", "Count"), rows, title="§5 storm ensemble"),
+    )
+
+    # Fair weather: NLN is faster (Table 1).  Storms: WH's low-band,
+    # high-APA design wins a measurable share, and WH never goes dark.
+    assert wh_down == 0
+    assert wh_wins >= 1
+    assert nln_wins >= 1
+    assert nln_down >= wh_down
+
+
+def test_bench_weather_profiles(benchmark, scenario, reconstructor, output_dir):
+    """Effective-latency profiles: the distribution a buyer experiences."""
+    date = scenario.snapshot_date
+    corridor = (
+        scenario.corridor.site("CME").point,
+        scenario.corridor.site("NY4").point,
+    )
+    networks = {
+        name: reconstructor.reconstruct_licensee(scenario.database, name, date)
+        for name in ("New Line Networks", "Webline Holdings")
+    }
+
+    def profiles():
+        return {
+            name: weather_latency_profile(
+                network, "CME", "NY4", corridor, n_storms=N_STORMS
+            )
+            for name, network in networks.items()
+        }
+
+    result = benchmark(profiles)
+    rows = []
+    for name, profile in result.items():
+        availability = route_availability(networks[name], "CME", "NY4")
+        rows.append(
+            (
+                name,
+                f"{profile.fair_weather_ms:.5f}",
+                "—" if profile.median_ms is None else f"{profile.median_ms:.5f}",
+                "—" if profile.p90_ms is None else f"{profile.p90_ms:.5f}",
+                f"{profile.outage_fraction:.0%}",
+                f"{100 * availability:.4f}%",
+            )
+        )
+    emit(
+        output_dir,
+        "weather_profiles.txt",
+        format_table(
+            ("Network", "fair ms", "storm p50", "storm p90", "outage", "route avail"),
+            rows,
+            title="Effective latency under weather (storm ensemble + ITU climate)",
+        ),
+    )
+    # The reliability buyer picks WH; NLN's shortest route is climatically
+    # less available than WH's.
+    assert storm_winner(result) == "Webline Holdings"
+    assert route_availability(
+        networks["Webline Holdings"], "CME", "NY4"
+    ) > route_availability(networks["New Line Networks"], "CME", "NY4")

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Satellites versus terrestrial microwave (paper §6, Fig 5).
+
+Compares one-way latency over ground distance for terrestrial microwave,
+idealised LEO shells at 550 km and 300 km, and long-haul fiber — then
+routes two concrete segments over a Starlink-like Walker constellation
+with +Grid inter-satellite links: the Chicago–NJ corridor (microwave
+wins) and Frankfurt–Washington (LEO beats fiber across the ocean).
+
+Run:  python examples/leo_vs_microwave.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figures import fig5_leo_comparison
+from repro.analysis.report import format_table
+from repro.geodesy import GeoPoint, geodesic_distance
+from repro.leo.constellation import STARLINK_SHELL, Constellation
+from repro.leo.latency import (
+    constellation_latency_s,
+    fiber_latency_s,
+    leo_fiber_crossover_km,
+    microwave_latency_s,
+    transatlantic_endpoints,
+)
+
+CME = GeoPoint(41.7580, -88.1801)
+NY4 = GeoPoint(40.7773, -74.0700)
+
+
+def main() -> None:
+    points = fig5_leo_comparison()
+    rows = [
+        (
+            f"{p.distance_km:.0f}",
+            f"{p.microwave_ms:.3f}",
+            f"{p.leo_550_ms:.3f}",
+            f"{p.leo_300_ms:.3f}",
+            f"{p.fiber_ms:.3f}",
+        )
+        for p in points
+        if p.distance_km % 1000 == 0
+    ]
+    print(
+        format_table(
+            ("km", "MW (ms)", "LEO 550", "LEO 300", "fiber"),
+            rows,
+            title="Fig 5 — one-way latency vs ground distance",
+        )
+    )
+    print(
+        f"\nLEO (550 km shell) beats long-haul fiber beyond "
+        f"~{leo_fiber_crossover_km(550_000.0):.0f} km of ground distance."
+    )
+
+    constellation = Constellation(STARLINK_SHELL)
+    print(
+        f"\nRouting over a {STARLINK_SHELL.n_planes}x"
+        f"{STARLINK_SHELL.sats_per_plane} Walker shell at "
+        f"{STARLINK_SHELL.altitude_m / 1000.0:.0f} km (+Grid ISLs):"
+    )
+
+    for label, a, b, buildable in (
+        ("CME-NY4 (corridor)", CME, NY4, True),
+        ("Frankfurt-Washington", *transatlantic_endpoints(), False),
+    ):
+        distance = geodesic_distance(a, b)
+        leo = constellation_latency_s(constellation, a, b)
+        mw = microwave_latency_s(distance)
+        fiber = fiber_latency_s(distance)
+        if buildable and mw < leo:
+            verdict = "terrestrial MW wins"
+        elif not buildable:
+            verdict = "LEO wins: no MW towers across the ocean, and LEO beats fiber"
+        else:
+            verdict = "LEO wins"
+        print(
+            f"  {label:22s} {distance / 1000.0:7.0f} km: "
+            f"LEO {leo * 1e3:6.3f} ms, MW {mw * 1e3:6.3f} ms, "
+            f"fiber {fiber * 1e3:6.3f} ms -> {verdict}"
+        )
+
+    print(
+        "\nThe paper's takeaway: HFT will keep microwave on land, but LEO "
+        "constellations open the oceanic segments (Tokyo-New York, "
+        "Frankfurt-Washington) that fiber serves poorly."
+    )
+
+
+if __name__ == "__main__":
+    main()

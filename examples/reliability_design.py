@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Why slower networks survive (paper §5): reliability engineering.
+
+Walks through the microwave-engineering substrate behind the paper's
+reliability argument — fade margins, rain attenuation, per-link
+availability — then simulates a storm season over the corridor to show
+the latency crossover: New Line Networks wins in fair weather, Webline
+Holdings wins when it rains hard on the 11 GHz trunk.
+
+Run:  python examples/reliability_design.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.core.reconstruction import NetworkReconstructor
+from repro.metrics.frequencies import shortest_path_frequencies_ghz
+from repro.metrics.link_lengths import link_length_cdf
+from repro.radio.availability import link_availability, rain_rate_to_kill_link_mm_h
+from repro.radio.budget import LinkBudget
+from repro.synth.scenario import paper2020_scenario
+from repro.synth.weather import random_storm, storm_latency_ms
+
+
+def engineering_table() -> None:
+    budget = LinkBudget()
+    rows = []
+    for frequency in (6.0, 11.0, 18.0, 23.0):
+        for distance in (36.0, 48.5):
+            kill = rain_rate_to_kill_link_mm_h(frequency, distance, budget)
+            rows.append(
+                (
+                    f"{frequency:.0f} GHz",
+                    f"{distance:.1f} km",
+                    f"{budget.fade_margin_db(frequency, distance):.1f} dB",
+                    f"{100 * link_availability(frequency, distance, budget):.4f}%",
+                    "never" if kill == float("inf") else f"{kill:.0f} mm/h",
+                )
+            )
+    print(
+        format_table(
+            ("Band", "Hop", "Fade margin", "Availability", "Rain to kill"),
+            rows,
+            title="Link engineering: why 6 GHz and short hops are robust "
+            "(36 km = WH's median hop, 48.5 km = NLN's)",
+        )
+    )
+
+
+def storm_season() -> None:
+    scenario = paper2020_scenario()
+    reconstructor = NetworkReconstructor(scenario.corridor)
+    nln = reconstructor.reconstruct_licensee(
+        scenario.database, "New Line Networks", scenario.snapshot_date
+    )
+    wh = reconstructor.reconstruct_licensee(
+        scenario.database, "Webline Holdings", scenario.snapshot_date
+    )
+
+    print("\nDesign contrast on the CME-NY4 shortest path:")
+    for name, network in (("NLN", nln), ("WH", wh)):
+        cdf = link_length_cdf(network, "CME", "NY4")
+        freqs = shortest_path_frequencies_ghz(network, "CME", "NY4")
+        share_6ghz = sum(1 for f in freqs if f < 7.0) / len(freqs)
+        print(
+            f"  {name}: median hop {cdf.median:.1f} km, "
+            f"{share_6ghz:.0%} of channels under 7 GHz"
+        )
+
+    corridor = (
+        scenario.corridor.site("CME").point,
+        scenario.corridor.site("NY4").point,
+    )
+    rows = []
+    wh_wins = 0
+    for seed in range(12):
+        storm = random_storm(seed, corridor, n_cells=4, peak_mm_h=(60.0, 170.0))
+        nln_ms = storm_latency_ms(nln, storm, "CME", "NY4")
+        wh_ms = storm_latency_ms(wh, storm, "CME", "NY4")
+        winner = "WH" if (nln_ms is None or (wh_ms or 9e9) < nln_ms) else "NLN"
+        wh_wins += winner == "WH"
+        rows.append(
+            (
+                seed,
+                f"{max(c.peak_rate_mm_h for c in storm.cells):.0f} mm/h",
+                "down" if nln_ms is None else f"{nln_ms:.5f}",
+                "down" if wh_ms is None else f"{wh_ms:.5f}",
+                winner,
+            )
+        )
+    print(
+        "\n"
+        + format_table(
+            ("Storm", "Peak rain", "NLN (ms)", "WH (ms)", "Faster"),
+            rows,
+            title="A storm season on the corridor (CME-NY4 one-way latency)",
+        )
+    )
+    print(
+        f"\nWH is faster (or the only network standing) in {wh_wins}/12 storms"
+        " — §5's conclusion: the most competitive firms would buy both."
+    )
+
+
+def main() -> None:
+    engineering_table()
+    storm_season()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""The state of the race (paper §3 + §5): Tables 1, 2 and 3.
+
+Replays the full §2.2 scraping funnel through the simulated ULS portal,
+then ranks every connected network on each corridor path and contrasts
+the speed-optimised leader (New Line Networks) with the
+reliability-optimised survivor (Webline Holdings).
+
+Run:  python examples/state_of_the_race.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.funnel import run_scraping_funnel
+from repro.analysis.report import format_latency_ms, format_table
+from repro.analysis.tables import (
+    table1_connected_networks,
+    table2_top_networks,
+    table3_apa,
+)
+from repro.metrics.rankings import latency_gap_us
+from repro.synth.scenario import paper2020_scenario
+
+
+def main() -> None:
+    scenario = paper2020_scenario()
+
+    funnel = run_scraping_funnel(
+        scenario.database, scenario.corridor, scenario.snapshot_date
+    )
+    candidates, shortlisted, connected = funnel.counts
+    print(
+        f"funnel: {candidates} candidate licensees near CME -> "
+        f"{shortlisted} with >= 11 filings -> {connected} connected "
+        f"end-to-end ({funnel.pages_scraped} portal pages scraped)\n"
+    )
+
+    rankings = table1_connected_networks(scenario)
+    print(
+        format_table(
+            ("Licensee", "Latency (ms)", "APA (%)", "#Towers"),
+            [
+                (r.licensee, format_latency_ms(r.latency_ms), r.apa_percent, r.tower_count)
+                for r in rankings
+            ],
+            title="Table 1 — connected networks, CME-NY4, 2020-04-01",
+        )
+    )
+    print(
+        f"\nNLN leads PB by {latency_gap_us(rankings[0], rankings[1]):.2f} us —"
+        " the sub-microsecond scale the race is fought at.\n"
+    )
+
+    rows = []
+    for path_ranking in table2_top_networks(scenario):
+        for rank, entry in enumerate(path_ranking.top, start=1):
+            rows.append(
+                (
+                    f"{path_ranking.source}-{path_ranking.target}",
+                    f"{path_ranking.geodesic_km:.0f}",
+                    rank,
+                    entry.licensee,
+                    format_latency_ms(entry.latency_ms),
+                )
+            )
+    print(
+        format_table(
+            ("Path", "Geodesic km", "Rank", "Licensee", "Latency (ms)"),
+            rows,
+            title="Table 2 — fastest networks per path",
+        )
+    )
+
+    apa_rows = table3_apa(scenario)
+    print(
+        "\n"
+        + format_table(
+            ("Path", "NLN", "WH"),
+            [
+                (
+                    f"{row.path[0]}-{row.path[1]}",
+                    f"{row.values['New Line Networks']}%",
+                    f"{row.values['Webline Holdings']}%",
+                )
+                for row in apa_rows
+            ],
+            title="Table 3 — alternate path availability (redundancy)",
+        )
+    )
+    print(
+        "\nWH is slower in fair weather on every path, but dominates on "
+        "redundancy — the design trade §5 argues keeps it in business."
+    )
+
+
+if __name__ == "__main__":
+    main()

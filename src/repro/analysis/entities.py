@@ -1,0 +1,189 @@
+"""Entity resolution across licensees (§2.4 limitation, §6 future work).
+
+The paper notes two blind spots its future-work section proposes to
+close: licensees filing under front names can be *identified* "by
+analysing items like the licensee email addresses", and co-owned
+licensees can be *joined* "by evaluating which networks have
+complementary links that together form end-end paths".  This module
+implements both signals:
+
+* **contact-domain grouping** — licensees whose filings share a contact
+  e-mail domain are candidate co-owned groups;
+* **complementarity analysis** — for a candidate group, reconstruct the
+  *joint* network from the union of their filings and test whether it
+  forms an end-to-end path that no member forms alone (links must
+  actually stitch: the halves share towers).
+
+A group is *confirmed* when both signals fire.  Purely geometric
+complementarity search (no shared domain) is also provided, with the
+caveat the paper gives: it carries "some uncertainty" — two unrelated
+partial builders may happen to abut.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.core.corridor import CorridorSpec
+from repro.core.reconstruction import NetworkReconstructor
+from repro.uls.database import UlsDatabase
+
+
+def contact_domains(database: UlsDatabase, licensee: str) -> set[str]:
+    """E-mail domains appearing on a licensee's filings."""
+    domains = set()
+    for lic in database.licenses_for(licensee):
+        email = lic.contact_email
+        if "@" in email:
+            domains.add(email.rpartition("@")[2].lower())
+    return domains
+
+
+def shared_domain_groups(
+    database: UlsDatabase, licensees: list[str] | None = None
+) -> dict[str, list[str]]:
+    """domain → licensees (≥2) filing under it."""
+    names = licensees if licensees is not None else database.licensee_names()
+    by_domain: dict[str, list[str]] = {}
+    for name in names:
+        for domain in contact_domains(database, name):
+            by_domain.setdefault(domain, []).append(name)
+    return {
+        domain: sorted(group)
+        for domain, group in by_domain.items()
+        if len(group) >= 2
+    }
+
+
+@dataclass(frozen=True)
+class JointAnalysis:
+    """Outcome of jointly reconstructing a group of licensees."""
+
+    licensees: tuple[str, ...]
+    connected_alone: dict[str, bool]
+    jointly_connected: bool
+    joint_latency_ms: float | None
+
+    @property
+    def complementary(self) -> bool:
+        """Jointly connected while no member connects alone."""
+        return self.jointly_connected and not any(self.connected_alone.values())
+
+
+def joint_analysis(
+    database: UlsDatabase,
+    corridor: CorridorSpec,
+    licensees: tuple[str, ...],
+    on_date: dt.date,
+    source: str = "CME",
+    target: str = "NY4",
+    reconstructor: NetworkReconstructor | None = None,
+) -> JointAnalysis:
+    """Reconstruct a group's joint network and compare with the members'."""
+    if len(licensees) < 2:
+        raise ValueError("joint analysis needs at least two licensees")
+    reconstructor = reconstructor or NetworkReconstructor(corridor)
+    connected_alone = {}
+    pooled = []
+    for name in licensees:
+        licenses = database.licenses_for(name)
+        pooled.extend(licenses)
+        network = reconstructor.reconstruct(licenses, on_date, licensee=name)
+        connected_alone[name] = network.is_connected(source, target)
+    joint_name = " + ".join(licensees)
+    joint = reconstructor.reconstruct(pooled, on_date, licensee=joint_name)
+    route = joint.lowest_latency_route(source, target)
+    return JointAnalysis(
+        licensees=tuple(licensees),
+        connected_alone=connected_alone,
+        jointly_connected=route is not None,
+        joint_latency_ms=None if route is None else route.latency_ms,
+    )
+
+
+@dataclass(frozen=True)
+class ResolvedEntity:
+    """A confirmed co-owned group: shared domain + complementary links."""
+
+    domain: str
+    licensees: tuple[str, ...]
+    analysis: JointAnalysis
+
+
+def resolve_entities(
+    database: UlsDatabase,
+    corridor: CorridorSpec,
+    on_date: dt.date,
+    licensees: list[str] | None = None,
+    source: str = "CME",
+    target: str = "NY4",
+    require_complementary: bool = True,
+) -> list[ResolvedEntity]:
+    """Find co-owned licensee groups.
+
+    Groups licensees by shared contact domain, then confirms each group
+    by joint reconstruction.  With ``require_complementary`` (default) a
+    group is reported only when the joint network achieves an end-to-end
+    path none of its members achieves alone — the unambiguous signature
+    of a split filing identity.
+    """
+    reconstructor = NetworkReconstructor(corridor)
+    resolved = []
+    for domain, group in sorted(shared_domain_groups(database, licensees).items()):
+        analysis = joint_analysis(
+            database,
+            corridor,
+            tuple(group),
+            on_date,
+            source=source,
+            target=target,
+            reconstructor=reconstructor,
+        )
+        if require_complementary and not analysis.complementary:
+            continue
+        resolved.append(
+            ResolvedEntity(domain=domain, licensees=tuple(group), analysis=analysis)
+        )
+    return resolved
+
+
+def complementary_pairs(
+    database: UlsDatabase,
+    corridor: CorridorSpec,
+    licensees: list[str],
+    on_date: dt.date,
+    source: str = "CME",
+    target: str = "NY4",
+) -> list[JointAnalysis]:
+    """Geometric search: pairs whose union connects though neither does.
+
+    The "with some uncertainty" variant from §2.4 — no identity signal,
+    only link complementarity.  Quadratic in the candidate list, so
+    callers should pass a shortlist (e.g. the funnel's non-connected
+    licensees).
+    """
+    reconstructor = NetworkReconstructor(corridor)
+    alone: dict[str, bool] = {}
+    for name in licensees:
+        network = reconstructor.reconstruct(
+            database.licenses_for(name), on_date, licensee=name
+        )
+        alone[name] = network.is_connected(source, target)
+    results = []
+    for first, second in combinations(licensees, 2):
+        if alone[first] or alone[second]:
+            continue  # already connected alone: not a "split network" signature
+        analysis = joint_analysis(
+            database,
+            corridor,
+            (first, second),
+            on_date,
+            source=source,
+            target=target,
+            reconstructor=reconstructor,
+        )
+        if analysis.complementary:
+            results.append(analysis)
+    return results

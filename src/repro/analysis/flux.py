@@ -1,0 +1,116 @@
+"""The race over time: leadership changes and the gap to the bound.
+
+§3 observes that "the rankings are still in flux, which is interesting,
+given the long period over which networks have been competing towards a
+(fixed) best-possible goal", and §4 that after eight years "the minimum
+achievable latency of 3.955 ms has not been reached".  This driver
+quantifies both: per-snapshot rankings, leadership changes, each
+network's rank trajectory, and the corridor minimum's remaining gap to
+the c-speed geodesic bound.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass
+
+from repro.constants import SPEED_OF_LIGHT
+from repro.core.reconstruction import NetworkReconstructor
+from repro.core.timeline import yearly_snapshot_dates
+from repro.metrics.rankings import rank_connected_networks
+from repro.synth.scenario import Scenario
+
+
+@dataclass(frozen=True)
+class RaceSnapshot:
+    """The ranking at one date."""
+
+    date: dt.date
+    order: tuple[str, ...]  # fastest first
+    latencies_ms: dict[str, float]
+
+    @property
+    def leader(self) -> str | None:
+        return self.order[0] if self.order else None
+
+    @property
+    def minimum_ms(self) -> float | None:
+        return self.latencies_ms[self.order[0]] if self.order else None
+
+
+@dataclass(frozen=True)
+class RaceHistory:
+    """Rankings across the date grid, with derived flux measures."""
+
+    source: str
+    target: str
+    bound_ms: float
+    snapshots: tuple[RaceSnapshot, ...]
+
+    @property
+    def leaders(self) -> list[tuple[dt.date, str | None]]:
+        return [(snapshot.date, snapshot.leader) for snapshot in self.snapshots]
+
+    @property
+    def leadership_changes(self) -> int:
+        """How many times rank 1 changed hands (ignoring empty years)."""
+        named = [s.leader for s in self.snapshots if s.leader is not None]
+        return sum(1 for a, b in zip(named, named[1:]) if a != b)
+
+    def gap_to_bound_us(self) -> list[tuple[dt.date, float | None]]:
+        """Remaining µs between the corridor minimum and the c-bound."""
+        series = []
+        for snapshot in self.snapshots:
+            minimum = snapshot.minimum_ms
+            gap = None if minimum is None else (minimum - self.bound_ms) * 1e3
+            series.append((snapshot.date, gap))
+        return series
+
+    def rank_of(self, licensee: str) -> list[tuple[dt.date, int | None]]:
+        """1-based rank trajectory of one network (None = not connected)."""
+        trajectory = []
+        for snapshot in self.snapshots:
+            rank = (
+                snapshot.order.index(licensee) + 1
+                if licensee in snapshot.order
+                else None
+            )
+            trajectory.append((snapshot.date, rank))
+        return trajectory
+
+
+def race_history(
+    scenario: Scenario,
+    dates: list[dt.date] | None = None,
+    source: str = "CME",
+    target: str = "NY4",
+    licensees: list[str] | None = None,
+) -> RaceHistory:
+    """Rank every (candidate) network at every snapshot date."""
+    dates = dates or yearly_snapshot_dates()
+    names = licensees if licensees is not None else list(scenario.connected_names) + [
+        "National Tower Company"
+    ]
+    reconstructor = NetworkReconstructor(scenario.corridor)
+    bound_ms = scenario.corridor.geodesic_m(source, target) / SPEED_OF_LIGHT * 1e3
+    snapshots = []
+    for date in dates:
+        rankings = rank_connected_networks(
+            scenario.database,
+            scenario.corridor,
+            date,
+            source=source,
+            target=target,
+            licensees=names,
+            reconstructor=reconstructor,
+        )
+        snapshots.append(
+            RaceSnapshot(
+                date=date,
+                order=tuple(r.licensee for r in rankings),
+                latencies_ms={r.licensee: r.latency_ms for r in rankings},
+            )
+        )
+    return RaceHistory(
+        source=source, target=target, bound_ms=bound_ms, snapshots=tuple(snapshots)
+    )

@@ -1,0 +1,129 @@
+"""Corridor monitoring: what changed between two dates.
+
+The study is a snapshot; keeping it current means diffing the corridor
+week over week — new filings, networks gaining or losing end-to-end
+connectivity, latency movements, wind-downs.  This is the report the
+authors' tool would mail out every Monday.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass, field
+
+from repro.core.corridor import CorridorSpec
+from repro.core.reconstruction import NetworkReconstructor
+from repro.uls.database import UlsDatabase
+from repro.uls.transactions import transactions_between
+
+
+@dataclass(frozen=True)
+class LatencyChange:
+    """One network's latency movement over the window."""
+
+    licensee: str
+    before_ms: float | None
+    after_ms: float | None
+
+    @property
+    def delta_us(self) -> float | None:
+        if self.before_ms is None or self.after_ms is None:
+            return None
+        return (self.after_ms - self.before_ms) * 1e3
+
+    @property
+    def kind(self) -> str:
+        if self.before_ms is None and self.after_ms is not None:
+            return "connected"
+        if self.before_ms is not None and self.after_ms is None:
+            return "disconnected"
+        if self.delta_us is not None and abs(self.delta_us) > 1e-3:
+            return "improved" if self.delta_us < 0 else "regressed"
+        return "unchanged"
+
+
+@dataclass(frozen=True)
+class CorridorDiff:
+    """Everything that changed on the corridor between two dates."""
+
+    start: dt.date
+    end: dt.date
+    grants: int
+    cancellations: int
+    terminations: int
+    new_licensees: tuple[str, ...]
+    changes: tuple[LatencyChange, ...] = field(default_factory=tuple)
+
+    @property
+    def newly_connected(self) -> tuple[str, ...]:
+        return tuple(c.licensee for c in self.changes if c.kind == "connected")
+
+    @property
+    def newly_disconnected(self) -> tuple[str, ...]:
+        return tuple(c.licensee for c in self.changes if c.kind == "disconnected")
+
+    @property
+    def movers(self) -> tuple[LatencyChange, ...]:
+        """Networks whose latency moved, biggest improvement first."""
+        moved = [c for c in self.changes if c.kind in ("improved", "regressed")]
+        moved.sort(key=lambda c: c.delta_us)
+        return tuple(moved)
+
+
+def diff_corridor(
+    database: UlsDatabase,
+    corridor: CorridorSpec,
+    start: dt.date,
+    end: dt.date,
+    source: str = "CME",
+    target: str = "NY4",
+    licensees: list[str] | None = None,
+) -> CorridorDiff:
+    """Diff the corridor between two dates.
+
+    ``licensees`` restricts the latency comparison (by default every
+    licensee with filings); licensing-event counts always cover the whole
+    database.
+    """
+    log = transactions_between(database, start, end)
+    grants = sum(1 for tx in log if tx.action == "grant")
+    cancellations = sum(1 for tx in log if tx.action == "cancel")
+    terminations = sum(1 for tx in log if tx.action == "terminate")
+
+    # Licensees whose first-ever grant falls inside the window.
+    first_grant: dict[str, dt.date] = {}
+    for lic in database:
+        if lic.grant_date is None:
+            continue
+        name = lic.licensee_name
+        if name not in first_grant or lic.grant_date < first_grant[name]:
+            first_grant[name] = lic.grant_date
+    new_licensees = tuple(
+        sorted(name for name, date in first_grant.items() if start < date <= end)
+    )
+
+    reconstructor = NetworkReconstructor(corridor)
+    names = licensees if licensees is not None else database.licensee_names()
+    changes = []
+    for name in names:
+        licenses = database.licenses_for(name)
+        before = reconstructor.reconstruct(licenses, start, licensee=name)
+        after = reconstructor.reconstruct(licenses, end, licensee=name)
+        route_before = before.lowest_latency_route(source, target)
+        route_after = after.lowest_latency_route(source, target)
+        change = LatencyChange(
+            licensee=name,
+            before_ms=None if route_before is None else route_before.latency_ms,
+            after_ms=None if route_after is None else route_after.latency_ms,
+        )
+        if change.kind != "unchanged" or change.before_ms is not None:
+            changes.append(change)
+    return CorridorDiff(
+        start=start,
+        end=end,
+        grants=grants,
+        cancellations=cancellations,
+        terminations=terminations,
+        new_licensees=new_licensees,
+        changes=tuple(changes),
+    )

@@ -1,0 +1,35 @@
+"""Plain-text report formatting for tables and experiment output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    header: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """A fixed-width text table (column widths fit the content)."""
+    cells = [[str(cell) for cell in row] for row in rows]
+    widths = [len(col) for col in header]
+    for row in cells:
+        if len(row) != len(header):
+            raise ValueError("row width does not match header")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(col.ljust(widths[i]) for i, col in enumerate(header)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_latency_ms(value: float | None, decimals: int = 5) -> str:
+    """Latency in the paper's 5-decimal-ms style; em-dash when absent."""
+    if value is None:
+        return "—"
+    return f"{value:.{decimals}f}"

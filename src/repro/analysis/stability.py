@@ -1,0 +1,118 @@
+"""Ranking stability under radio-technology uncertainty (§6).
+
+The paper's distance-based latency estimates ignore per-tower repetition
+or regeneration delay, and §6 proposes "using information from radio
+vendors ... to bound how much difference radio technology could create
+beyond our distance-based analysis".  This module does the bounding: it
+sweeps the per-tower overhead over a vendor-plausible range and reports
+where the Table 1/2 orderings flip, and which pairs are robust.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass
+
+from repro.core.latency import LatencyModel
+from repro.core.reconstruction import NetworkReconstructor
+from repro.synth.scenario import Scenario
+
+
+@dataclass(frozen=True)
+class RankFlip:
+    """Two networks whose order flips at some overhead within the range."""
+
+    faster_at_zero: str
+    slower_at_zero: str
+    crossover_us: float
+
+
+@dataclass(frozen=True)
+class StabilityReport:
+    """Ranking stability over a per-tower overhead range."""
+
+    source: str
+    target: str
+    max_overhead_us: float
+    order_at_zero: tuple[str, ...]
+    order_at_max: tuple[str, ...]
+    flips: tuple[RankFlip, ...]
+
+    @property
+    def stable(self) -> bool:
+        return not self.flips
+
+
+def _latencies_at(
+    scenario: Scenario,
+    overhead_us: float,
+    source: str,
+    target: str,
+    licensees: tuple[str, ...],
+    on_date: dt.date,
+) -> dict[str, tuple[float, int]]:
+    """licensee -> (latency ms at overhead, tower count)."""
+    model = LatencyModel(per_tower_overhead_s=overhead_us * 1e-6)
+    reconstructor = NetworkReconstructor(scenario.corridor, latency_model=model)
+    out = {}
+    for name in licensees:
+        network = reconstructor.reconstruct_licensee(
+            scenario.database, name, on_date
+        )
+        route = network.lowest_latency_route(source, target)
+        if route is not None:
+            out[name] = (route.latency_ms, route.tower_count)
+    return out
+
+
+def ranking_stability(
+    scenario: Scenario,
+    max_overhead_us: float = 3.0,
+    source: str = "CME",
+    target: str = "NY4",
+    licensees: tuple[str, ...] | None = None,
+    on_date: dt.date | None = None,
+) -> StabilityReport:
+    """Where do rankings flip as per-tower overhead grows from 0?
+
+    Because latency is affine in the overhead (latency₀ + towers·t), each
+    pair's crossover solves in closed form:
+    ``t* = (latency_b − latency_a) / (towers_a − towers_b)`` — no sweep
+    needed; flips are exact.  (Routes are assumed overhead-invariant,
+    which holds when bypasses cost extra towers, as on this corridor.)
+    """
+    if max_overhead_us <= 0.0:
+        raise ValueError("overhead range must be positive")
+    date = on_date or scenario.snapshot_date
+    names = licensees or scenario.connected_names
+    at_zero = _latencies_at(scenario, 0.0, source, target, tuple(names), date)
+
+    order_zero = tuple(sorted(at_zero, key=lambda n: at_zero[n][0]))
+    flips: list[RankFlip] = []
+    for i, first in enumerate(order_zero):
+        for second in order_zero[i + 1 :]:
+            latency_a, towers_a = at_zero[first]
+            latency_b, towers_b = at_zero[second]
+            if towers_a <= towers_b:
+                continue  # the faster network also has fewer/equal towers
+            crossover = (latency_b - latency_a) * 1e3 / (towers_a - towers_b)
+            if 0.0 < crossover <= max_overhead_us:
+                flips.append(
+                    RankFlip(
+                        faster_at_zero=first,
+                        slower_at_zero=second,
+                        crossover_us=crossover,
+                    )
+                )
+    flips.sort(key=lambda flip: flip.crossover_us)
+
+    at_max = _latencies_at(scenario, max_overhead_us, source, target, tuple(names), date)
+    order_max = tuple(sorted(at_max, key=lambda n: at_max[n][0]))
+    return StabilityReport(
+        source=source,
+        target=target,
+        max_overhead_us=max_overhead_us,
+        order_at_zero=order_zero,
+        order_at_max=order_max,
+        flips=tuple(flips),
+    )

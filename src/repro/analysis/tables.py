@@ -1,0 +1,75 @@
+"""Drivers for Tables 1–3."""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass
+
+from repro.core.reconstruction import NetworkReconstructor
+from repro.metrics.apa import apa_percent
+from repro.metrics.rankings import (
+    NetworkRanking,
+    PathTopRanking,
+    rank_connected_networks,
+    top_networks_per_path,
+)
+from repro.synth.scenario import Scenario
+
+
+def table1_connected_networks(
+    scenario: Scenario,
+    on_date: dt.date | None = None,
+    source: str = "CME",
+    target: str = "NY4",
+) -> list[NetworkRanking]:
+    """Table 1: connected networks by increasing CME–NY4 latency."""
+    date = on_date or scenario.snapshot_date
+    return rank_connected_networks(
+        scenario.database, scenario.corridor, date, source=source, target=target
+    )
+
+
+def table2_top_networks(
+    scenario: Scenario,
+    on_date: dt.date | None = None,
+    top_n: int = 3,
+) -> list[PathTopRanking]:
+    """Table 2: the fastest ``top_n`` networks per corridor path."""
+    date = on_date or scenario.snapshot_date
+    return top_networks_per_path(
+        scenario.database, scenario.corridor, date, top_n=top_n
+    )
+
+
+@dataclass(frozen=True)
+class ApaRow:
+    """One row of Table 3."""
+
+    path: tuple[str, str]
+    values: dict[str, int]
+
+
+def table3_apa(
+    scenario: Scenario,
+    licensees: tuple[str, ...] = ("New Line Networks", "Webline Holdings"),
+    on_date: dt.date | None = None,
+) -> list[ApaRow]:
+    """Table 3: per-path APA for selected networks (paper: NLN vs WH)."""
+    date = on_date or scenario.snapshot_date
+    reconstructor = NetworkReconstructor(scenario.corridor)
+    networks = {
+        name: reconstructor.reconstruct_licensee(scenario.database, name, date)
+        for name in licensees
+    }
+    rows = []
+    for source, target in scenario.corridor.paths:
+        rows.append(
+            ApaRow(
+                path=(source, target),
+                values={
+                    name: apa_percent(network, source, target)
+                    for name, network in networks.items()
+                },
+            )
+        )
+    return rows

@@ -1,0 +1,424 @@
+"""Command-line interface: ``hftnetview`` (or ``python -m repro``).
+
+Subcommands mirror the tool's workflow:
+
+* ``funnel``    — replay the §2.2 scraping funnel (57 → 29 → 9);
+* ``table1``    — connected networks ranked by CME–NY4 latency;
+* ``table2``    — top-3 networks per corridor path;
+* ``table3``    — per-path APA for NLN vs WH;
+* ``timeline``  — Fig 1/2 series for the featured networks;
+* ``export``    — write a network's YAML / GeoJSON / SVG snapshot;
+* ``leo``       — the Fig 5 MW vs LEO vs fiber sweep;
+* ``entities``  — resolve co-owned licensees (§6 future work);
+* ``weather``   — effective latency profiles under a storm ensemble;
+* ``stability`` — ranking flips under per-tower overhead uncertainty;
+* ``design``    — design a corridor network under a site budget (§6);
+* ``diff``      — what changed on the corridor between two dates.
+
+All commands run on the calibrated ``paper2020`` scenario.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as dt
+import sys
+from pathlib import Path
+
+from repro.analysis.figures import (
+    fig1_latency_evolution,
+    fig2_active_licenses,
+    fig5_leo_comparison,
+)
+from repro.analysis.funnel import run_scraping_funnel
+from repro.analysis.report import format_latency_ms, format_table
+from repro.analysis.tables import (
+    table1_connected_networks,
+    table2_top_networks,
+    table3_apa,
+)
+from repro.core.reconstruction import NetworkReconstructor
+from repro.core.yamlio import network_to_yaml
+from repro.synth.scenario import paper2020_scenario
+from repro.viz.geojson import network_to_geojson
+from repro.viz.svgmap import render_network_svg
+
+
+def _parse_date(text: str) -> dt.date:
+    return dt.date.fromisoformat(text)
+
+
+def _cmd_funnel(args: argparse.Namespace) -> int:
+    scenario = paper2020_scenario()
+    result = run_scraping_funnel(
+        scenario.database, scenario.corridor, args.date or scenario.snapshot_date
+    )
+    candidates, shortlisted, connected = result.counts
+    print(f"candidate licensees: {candidates}")
+    print(f"shortlisted (>= 11 filings): {shortlisted}")
+    print(f"connected CME-NY4: {connected}")
+    print(f"portal pages scraped: {result.pages_scraped}")
+    for name in result.connected_licensees:
+        print(f"  - {name}")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    scenario = paper2020_scenario()
+    rankings = table1_connected_networks(scenario, args.date)
+    rows = [
+        (r.licensee, format_latency_ms(r.latency_ms), r.apa_percent, r.tower_count)
+        for r in rankings
+    ]
+    print(
+        format_table(
+            ("Licensee", "Latency (ms)", "APA (%)", "#Towers"),
+            rows,
+            title="Connected networks, CME-NY4",
+        )
+    )
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    scenario = paper2020_scenario()
+    rows = []
+    for path_ranking in table2_top_networks(scenario, args.date):
+        for rank, entry in enumerate(path_ranking.top, start=1):
+            rows.append(
+                (
+                    f"{path_ranking.source}-{path_ranking.target}",
+                    f"{path_ranking.geodesic_km:.0f}",
+                    rank,
+                    entry.licensee,
+                    format_latency_ms(entry.latency_ms),
+                )
+            )
+    print(
+        format_table(
+            ("Path", "Geodesic (km)", "Rank", "Licensee", "Latency (ms)"), rows
+        )
+    )
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    scenario = paper2020_scenario()
+    apa_rows = table3_apa(scenario, on_date=args.date)
+    names = list(apa_rows[0].values)
+    rows = [
+        (f"{row.path[0]}-{row.path[1]}", *(f"{row.values[n]}%" for n in names))
+        for row in apa_rows
+    ]
+    print(format_table(("Path", *names), rows, title="Alternate path availability"))
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    scenario = paper2020_scenario()
+    latencies = fig1_latency_evolution(scenario)
+    counts = fig2_active_licenses(scenario)
+    dates = next(iter(counts.values())).dates
+    header = ("Licensee", *(d.isoformat() for d in dates))
+    latency_rows = [
+        (name, *(format_latency_ms(p.latency_ms, 4) for p in points))
+        for name, points in latencies.items()
+    ]
+    count_rows = [
+        (name, *(str(c) for c in series.counts)) for name, series in counts.items()
+    ]
+    print(format_table(header, latency_rows, title="Fig 1: latency (ms), CME-NY4"))
+    print()
+    print(format_table(header, count_rows, title="Fig 2: active licenses"))
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    scenario = paper2020_scenario()
+    date = args.date or scenario.snapshot_date
+    reconstructor = NetworkReconstructor(scenario.corridor)
+    if args.licensee not in scenario.database.licensee_names():
+        print(f"unknown licensee: {args.licensee!r}", file=sys.stderr)
+        return 2
+    network = reconstructor.reconstruct_licensee(
+        scenario.database, args.licensee, date
+    )
+    out = Path(args.output_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    stem = f"{args.licensee.lower().replace(' ', '_')}_{date.isoformat()}"
+    network_to_yaml(network, out / f"{stem}.yaml")
+    network_to_geojson(network, out / f"{stem}.geojson")
+    render_network_svg(network, out / f"{stem}.svg")
+    print(f"wrote {stem}.yaml / .geojson / .svg to {out}")
+    return 0
+
+
+def _cmd_leo(args: argparse.Namespace) -> int:
+    points = fig5_leo_comparison()
+    rows = [
+        (
+            f"{p.distance_km:.0f}",
+            f"{p.microwave_ms:.3f}",
+            f"{p.leo_550_ms:.3f}",
+            f"{p.leo_300_ms:.3f}",
+            f"{p.fiber_ms:.3f}",
+        )
+        for p in points
+        if p.distance_km % 1000 == 0 or args.full
+    ]
+    print(
+        format_table(
+            ("km", "MW (ms)", "LEO 550 (ms)", "LEO 300 (ms)", "fiber (ms)"),
+            rows,
+            title="Fig 5: terrestrial MW vs LEO vs fiber (one-way)",
+        )
+    )
+    return 0
+
+
+def _cmd_entities(args: argparse.Namespace) -> int:
+    from repro.analysis.entities import resolve_entities
+
+    scenario = paper2020_scenario()
+    resolved = resolve_entities(
+        scenario.database, scenario.corridor, args.date or scenario.snapshot_date
+    )
+    if not resolved:
+        print("no co-owned licensee groups found")
+        return 0
+    rows = [
+        (
+            entity.domain,
+            " + ".join(entity.licensees),
+            format_latency_ms(entity.analysis.joint_latency_ms),
+        )
+        for entity in resolved
+    ]
+    print(
+        format_table(
+            ("Shared domain", "Licensees", "Joint CME-NY4 (ms)"),
+            rows,
+            title="Resolved entities (shared domain + complementary links)",
+        )
+    )
+    return 0
+
+
+def _cmd_weather(args: argparse.Namespace) -> int:
+    from repro.metrics.effective_latency import weather_latency_profile
+
+    scenario = paper2020_scenario()
+    date = args.date or scenario.snapshot_date
+    reconstructor = NetworkReconstructor(scenario.corridor)
+    corridor = (
+        scenario.corridor.site("CME").point,
+        scenario.corridor.site("NY4").point,
+    )
+    rows = []
+    for name in ("New Line Networks", "Webline Holdings"):
+        network = reconstructor.reconstruct_licensee(scenario.database, name, date)
+        profile = weather_latency_profile(
+            network, "CME", "NY4", corridor, n_storms=args.storms
+        )
+        rows.append(
+            (
+                name,
+                format_latency_ms(profile.fair_weather_ms),
+                format_latency_ms(profile.median_ms),
+                format_latency_ms(profile.p90_ms),
+                f"{profile.outage_fraction:.0%}",
+            )
+        )
+    print(
+        format_table(
+            ("Network", "fair (ms)", "storm p50", "storm p90", "outage"),
+            rows,
+            title=f"Effective latency over {args.storms} seeded storms",
+        )
+    )
+    return 0
+
+
+def _cmd_stability(args: argparse.Namespace) -> int:
+    from repro.analysis.stability import ranking_stability
+
+    scenario = paper2020_scenario()
+    report = ranking_stability(scenario, max_overhead_us=args.max_overhead)
+    print(f"order at 0 overhead:   {' > '.join(report.order_at_zero[:4])} ...")
+    print(
+        f"order at {args.max_overhead:g} us/tower: "
+        f"{' > '.join(report.order_at_max[:4])} ..."
+    )
+    if report.stable:
+        print("no ranking flips in range")
+        return 0
+    print(
+        format_table(
+            ("Faster at 0", "Overtaken by", "crossover (us/tower)"),
+            [
+                (flip.faster_at_zero, flip.slower_at_zero, f"{flip.crossover_us:.2f}")
+                for flip in report.flips
+            ],
+            title="Ranking flips",
+        )
+    )
+    return 0
+
+
+def _cmd_design(args: argparse.Namespace) -> int:
+    from repro.core.corridor import CME, NY4
+    from repro.design.evaluate import (
+        NetworkDesign,
+        corridor_endpoints,
+        evaluate_design,
+        latency_lower_bound_ms,
+    )
+    from repro.design.redundancy import augment_with_bypasses
+    from repro.design.sites import CandidateSite, generate_site_pool
+    from repro.design.trunk import DesignError, design_trunk
+    from repro.geodesy.path import offset_point
+
+    pool = generate_site_pool(CME.point, NY4.point, n_sites=400, seed=args.seed)
+    west_gw = CandidateSite(
+        "gw-west", offset_point(CME.point, NY4.point, 0.0008, 0.0), 3.0, 0.0
+    )
+    east_gw = CandidateSite(
+        "gw-east", offset_point(CME.point, NY4.point, 0.9992, 0.0), 3.0, 0.0
+    )
+    try:
+        trunk = design_trunk(pool, west_gw, east_gw, budget=args.trunk_budget)
+    except DesignError as error:
+        print(f"design infeasible: {error}", file=sys.stderr)
+        return 2
+    bypasses = tuple(
+        augment_with_bypasses(trunk, pool, budget=args.bypass_budget)
+    )
+    west, east = corridor_endpoints(CME.point, NY4.point)
+    report = evaluate_design(
+        NetworkDesign(trunk=trunk, bypasses=bypasses, west=west, east=east)
+    )
+    bound = latency_lower_bound_ms(CME.point, NY4.point)
+    print(
+        format_table(
+            ("Metric", "Value"),
+            [
+                ("latency", f"{report.latency_ms:.5f} ms (c-bound {bound:.5f})"),
+                ("APA", f"{report.apa:.0%}"),
+                ("storm survival", f"{report.storm_survival:.0%}"),
+                ("towers on path", report.tower_count),
+                ("bypass towers", len(bypasses)),
+                ("total annual cost", f"{report.total_cost:.1f}"),
+            ],
+            title="Designed CME-NY4 network",
+        )
+    )
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.analysis.monitor import diff_corridor
+
+    scenario = paper2020_scenario()
+    diff = diff_corridor(
+        scenario.database,
+        scenario.corridor,
+        args.start,
+        args.end,
+        licensees=list(scenario.featured_names),
+    )
+    print(
+        f"{diff.start} -> {diff.end}: {diff.grants} grants, "
+        f"{diff.cancellations} cancellations, {diff.terminations} terminations"
+    )
+    if diff.new_licensees:
+        print("new licensees: " + ", ".join(diff.new_licensees))
+    if diff.newly_connected:
+        print("newly connected: " + ", ".join(diff.newly_connected))
+    if diff.newly_disconnected:
+        print("newly disconnected: " + ", ".join(diff.newly_disconnected))
+    movers = diff.movers
+    if movers:
+        print(
+            format_table(
+                ("Network", "before (ms)", "after (ms)", "delta (us)"),
+                [
+                    (
+                        change.licensee,
+                        format_latency_ms(change.before_ms),
+                        format_latency_ms(change.after_ms),
+                        f"{change.delta_us:+.2f}",
+                    )
+                    for change in movers
+                ],
+                title="Latency movers",
+            )
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hftnetview",
+        description="Reconstruct and analyse HFT microwave networks "
+        "(IMC 2020 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, func, help_text in (
+        ("funnel", _cmd_funnel, "replay the §2.2 scraping funnel"),
+        ("table1", _cmd_table1, "connected networks by latency (Table 1)"),
+        ("table2", _cmd_table2, "top-3 networks per path (Table 2)"),
+        ("table3", _cmd_table3, "per-path APA, NLN vs WH (Table 3)"),
+        ("timeline", _cmd_timeline, "Fig 1/2 longitudinal series"),
+    ):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("--date", type=_parse_date, default=None,
+                         help="snapshot date (YYYY-MM-DD; default 2020-04-01)")
+        cmd.set_defaults(func=func)
+
+    export = sub.add_parser("export", help="export a network snapshot")
+    export.add_argument("licensee", help='e.g. "New Line Networks"')
+    export.add_argument("--date", type=_parse_date, default=None)
+    export.add_argument("--output-dir", default="out")
+    export.set_defaults(func=_cmd_export)
+
+    leo = sub.add_parser("leo", help="Fig 5 latency comparison sweep")
+    leo.add_argument("--full", action="store_true", help="print every distance")
+    leo.set_defaults(func=_cmd_leo)
+
+    entities = sub.add_parser("entities", help="resolve co-owned licensees")
+    entities.add_argument("--date", type=_parse_date, default=None)
+    entities.set_defaults(func=_cmd_entities)
+
+    weather = sub.add_parser("weather", help="effective latency under storms")
+    weather.add_argument("--date", type=_parse_date, default=None)
+    weather.add_argument("--storms", type=int, default=25)
+    weather.set_defaults(func=_cmd_weather)
+
+    stability = sub.add_parser(
+        "stability", help="ranking flips under per-tower overhead"
+    )
+    stability.add_argument("--max-overhead", type=float, default=3.0,
+                           help="per-tower overhead range, microseconds")
+    stability.set_defaults(func=_cmd_stability)
+
+    design = sub.add_parser("design", help="design a corridor network (§6)")
+    design.add_argument("--trunk-budget", type=float, default=45.0)
+    design.add_argument("--bypass-budget", type=float, default=18.0)
+    design.add_argument("--seed", type=int, default=3)
+    design.set_defaults(func=_cmd_design)
+
+    diff = sub.add_parser("diff", help="corridor changes between two dates")
+    diff.add_argument("start", type=_parse_date, help="YYYY-MM-DD")
+    diff.add_argument("end", type=_parse_date, help="YYYY-MM-DD")
+    diff.set_defaults(func=_cmd_diff)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

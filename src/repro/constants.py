@@ -1,0 +1,52 @@
+"""Physical constants and corridor-wide defaults.
+
+The values here mirror the modelling assumptions of the paper (§2.3):
+microwave links are traversed at (almost) the speed of light in air, fiber
+tails at roughly two thirds of c, and data centers are assumed to have fiber
+connectivity to towers within 50 km.
+"""
+
+from __future__ import annotations
+
+#: Speed of light in vacuum, meters per second.
+SPEED_OF_LIGHT = 299_792_458.0
+
+#: Speed of a signal over a microwave link.  The paper treats the microwave
+#: part of a path as traversed at "(almost) c"; we use c exactly, matching
+#: the paper's latency arithmetic (1,186 km -> 3.955 ms lower bound).
+MICROWAVE_SPEED = SPEED_OF_LIGHT
+
+#: Speed of a signal in optical fiber (refractive index ~1.5), i.e. 2c/3.
+FIBER_SPEED = SPEED_OF_LIGHT * 2.0 / 3.0
+
+#: Maximum length of the fiber tail connecting a data center to the nearest
+#: towers of a network (paper §2.3: "up to 50 km away").
+MAX_FIBER_TAIL_M = 50_000.0
+
+#: Latency-slack factor used for the alternate-path-availability metric and
+#: for near-optimal path enumeration (paper §5: "not more than 5% greater
+#: than the c-speed latency along the geodesic").
+APA_SLACK_FACTOR = 1.05
+
+#: Radius of the geographic license search around CME (paper §2.2: 10 km).
+CME_SEARCH_RADIUS_M = 10_000.0
+
+#: Minimum number of license filings for a licensee to be shortlisted
+#: (paper §2.2: networks with fewer than 11 filings cannot span the
+#: ~1,100 km corridor with <100 km hops).
+MIN_FILINGS_FOR_SHORTLIST = 11
+
+#: FCC radio service code for the Microwave Industrial/Business Pool.
+RADIO_SERVICE_MG = "MG"
+
+#: FCC station class for Operational Fixed microwave stations.
+STATION_CLASS_FXO = "FXO"
+
+#: Tolerance used when deciding that two license endpoints refer to the same
+#: physical tower.  FCC filings quote coordinates to fractions of an
+#: arc-second; 30 m comfortably absorbs rounding while never merging
+#: distinct towers (which are kilometres apart).
+STITCH_TOLERANCE_M = 30.0
+
+#: Conventional licensed point-to-point microwave bands on the corridor, GHz.
+MICROWAVE_BANDS_GHZ = (6.0, 11.0, 18.0, 23.0)

@@ -1,0 +1,64 @@
+"""Core library: reconstruction of HFT networks from license filings.
+
+This subpackage is the paper's primary contribution: a tool that turns raw
+FCC license records into analysable network graphs at any date in the past
+(§2.3), plus the latency model and routing machinery the analyses rely on.
+
+Typical usage::
+
+    from repro.core import CorridorSpec, NetworkReconstructor
+    from repro.synth import paper2020_scenario
+
+    scenario = paper2020_scenario()
+    reconstructor = NetworkReconstructor(scenario.corridor)
+    network = reconstructor.reconstruct(
+        scenario.database.licenses_for("New Line Networks"),
+        on_date=datetime.date(2020, 4, 1),
+    )
+    route = network.lowest_latency_route("CME", "NY4")
+    print(route.latency_ms, route.tower_count)
+"""
+
+from repro.core.latency import LatencyModel
+from repro.core.network import (
+    DataCenter,
+    HftNetwork,
+    MicrowaveLink,
+    Route,
+    Tower,
+)
+from repro.core.corridor import CorridorSpec
+from repro.core.reconstruction import NetworkReconstructor, reconstruct_all
+from repro.core.routing import (
+    edges_within_latency_bound,
+    enumerate_paths_within_bound,
+)
+from repro.core.timeline import (
+    LicenseCountSeries,
+    TimelinePoint,
+    latency_timeline,
+    license_count_timeline,
+    yearly_snapshot_dates,
+)
+from repro.core.yamlio import network_from_yaml, network_to_yaml
+
+__all__ = [
+    "LatencyModel",
+    "DataCenter",
+    "HftNetwork",
+    "MicrowaveLink",
+    "Route",
+    "Tower",
+    "CorridorSpec",
+    "NetworkReconstructor",
+    "reconstruct_all",
+    "edges_within_latency_bound",
+    "enumerate_paths_within_bound",
+    "LicenseCountSeries",
+    "TimelinePoint",
+    "latency_timeline",
+    "license_count_timeline",
+    "yearly_snapshot_dates",
+    "network_from_yaml",
+    "network_to_yaml",
+]

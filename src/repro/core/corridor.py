@@ -1,0 +1,103 @@
+"""Corridor specification: the data centers networks connect.
+
+The paper's corridor runs between the CME data center in Aurora, IL and
+three New Jersey data centers (Equinix NY4 in Secaucus, NYSE in Mahwah,
+NASDAQ in Carteret).  The coordinates below are calibrated so the WGS84
+geodesic distances match the paper's Table 2 figures (1,186 / 1,174 /
+1,176 km) to within ~100 m.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geodesy import GeoPoint, geodesic_distance
+
+
+@dataclass(frozen=True, slots=True)
+class DataCenterSite:
+    """A trading data center: name and location."""
+
+    name: str
+    point: GeoPoint
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("data center name must be non-empty")
+
+
+@dataclass(frozen=True)
+class CorridorSpec:
+    """The set of data centers and the trading paths between them.
+
+    ``west`` is the single western anchor (CME); ``east`` lists the
+    eastern data centers.  ``paths`` enumerates the (west, east) pairs the
+    analyses rank networks on.
+    """
+
+    west: DataCenterSite
+    east: tuple[DataCenterSite, ...]
+
+    def __post_init__(self) -> None:
+        if not self.east:
+            raise ValueError("corridor needs at least one eastern data center")
+        names = [self.west.name] + [dc.name for dc in self.east]
+        if len(set(names)) != len(names):
+            raise ValueError("data center names must be unique")
+
+    @property
+    def data_centers(self) -> tuple[DataCenterSite, ...]:
+        return (self.west,) + self.east
+
+    @property
+    def paths(self) -> tuple[tuple[str, str], ...]:
+        """(west, east) data center name pairs, in declaration order."""
+        return tuple((self.west.name, dc.name) for dc in self.east)
+
+    def site(self, name: str) -> DataCenterSite:
+        for dc in self.data_centers:
+            if dc.name == name:
+                return dc
+        raise KeyError(f"unknown data center: {name!r}")
+
+    def geodesic_m(self, west_name: str, east_name: str) -> float:
+        """Geodesic distance between two named data centers, metres."""
+        return geodesic_distance(self.site(west_name).point, self.site(east_name).point)
+
+
+#: CME Globex data center, Aurora, IL (western anchor).
+CME = DataCenterSite("CME", GeoPoint(41.7580, -88.1801))
+
+#: Equinix NY4, Secaucus, NJ.
+NY4 = DataCenterSite("NY4", GeoPoint(40.7773, -74.0700))
+
+#: NYSE data center, Mahwah, NJ.
+NYSE = DataCenterSite("NYSE", GeoPoint(41.0887, -74.1486))
+
+#: NASDAQ data center, Carteret, NJ.
+NASDAQ = DataCenterSite("NASDAQ", GeoPoint(40.5838, -74.2370))
+
+
+def chicago_nj_corridor() -> CorridorSpec:
+    """The paper's Chicago–New Jersey corridor (CME ↔ NY4/NYSE/NASDAQ)."""
+    return CorridorSpec(west=CME, east=(NY4, NYSE, NASDAQ))
+
+
+#: Equinix LD4, Slough, UK — the western anchor of Europe's busiest HFT
+#: microwave corridor.
+LD4 = DataCenterSite("LD4", GeoPoint(51.5227, -0.6310))
+
+#: Equinix FR2, Frankfurt, Germany.
+FR2 = DataCenterSite("FR2", GeoPoint(50.0992, 8.6323))
+
+
+def london_frankfurt_corridor() -> CorridorSpec:
+    """The London–Frankfurt corridor (LD4 ↔ FR2), ~640 km including a
+    Channel crossing.
+
+    Not part of the paper's measurement (which is US-only because the
+    FCC's ULS has no European counterpart with the same transparency),
+    but the same tooling applies to any two-anchor corridor; this one
+    exists to exercise corridor-agnosticism.
+    """
+    return CorridorSpec(west=LD4, east=(FR2,))

@@ -1,0 +1,55 @@
+"""Fiber tails between data centers and nearby towers (§2.3).
+
+The paper assumes "short fiber segments connecting the last tower on each
+side to its corresponding data center", with data centers having fiber
+connectivity to towers up to 50 km away and the fiber following the
+geodesic.  Two attachment policies are provided:
+
+* ``"nearest"`` (default, the paper's "last tower" reading): each data
+  center gets one tail, to its nearest tower within 50 km.
+* ``"all"``: a tail to *every* tower within 50 km.  Under this reading a
+  network's branch towards one data center doubles as a backup entry into
+  another nearby data center, which inflates the alternate-path metric —
+  the ablation bench quantifies the difference.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.constants import MAX_FIBER_TAIL_M
+from repro.core.corridor import DataCenterSite
+from repro.core.network import FiberTail, Tower
+from repro.geodesy import geodesic_distance
+
+
+def attach_fiber_tails(
+    data_centers: Iterable[DataCenterSite],
+    towers: Iterable[Tower],
+    max_tail_m: float = MAX_FIBER_TAIL_M,
+    mode: str = "nearest",
+) -> list[FiberTail]:
+    """Fiber tails from data centers to in-range towers.
+
+    Tails are sorted by (data center, length) for deterministic output.
+    """
+    if max_tail_m < 0.0:
+        raise ValueError("max tail length cannot be negative")
+    if mode not in ("nearest", "all"):
+        raise ValueError(f"unknown fiber attachment mode: {mode!r}")
+    tails: list[FiberTail] = []
+    tower_list = list(towers)
+    for dc in data_centers:
+        in_range = []
+        for tower in tower_list:
+            length = geodesic_distance(dc.point, tower.point)
+            if 0.0 < length <= max_tail_m:
+                in_range.append(
+                    FiberTail(data_center=dc.name, tower_id=tower.tower_id, length_m=length)
+                )
+        in_range.sort(key=lambda tail: (tail.length_m, tail.tower_id))
+        if mode == "nearest":
+            in_range = in_range[:1]
+        tails.extend(in_range)
+    tails.sort(key=lambda tail: (tail.data_center, tail.length_m, tail.tower_id))
+    return tails

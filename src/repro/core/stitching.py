@@ -1,0 +1,170 @@
+"""Endpoint stitching: turning license endpoints into shared towers.
+
+The paper reconstructs entire networks "by stitching together their
+individual links: a tower that is an endpoint for two links forms a node
+connecting these links" (§2.3).  Different filings quote the same physical
+tower with slightly different rounding, so stitching clusters endpoints
+within a small tolerance (default 30 m) and gives each cluster a canonical
+tower identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import STITCH_TOLERANCE_M
+from repro.geodesy import GeoPoint, geodesic_distance
+from repro.geodesy.coordinates import coordinate_key
+from repro.uls.records import License, TowerLocation
+from repro.core.network import MicrowaveLink, Tower
+
+
+@dataclass
+class _Cluster:
+    """A growing group of endpoints believed to be one physical tower."""
+
+    anchor: GeoPoint
+    ground_elevation_m: float
+    structure_height_m: float
+    site_name: str
+    license_ids: set[str]
+
+
+class EndpointStitcher:
+    """Clusters license endpoints into towers.
+
+    Endpoints within ``tolerance_m`` of a cluster's anchor join that
+    cluster; the anchor is the first-seen coordinate (FCC filings are
+    anchored to the physical structure, so first-seen is as canonical as
+    any).  A spatial grid keyed on :func:`coordinate_key` keeps matching
+    O(1) per endpoint.
+    """
+
+    def __init__(self, tolerance_m: float = STITCH_TOLERANCE_M) -> None:
+        if tolerance_m <= 0.0:
+            raise ValueError("tolerance must be positive")
+        self.tolerance_m = tolerance_m
+        self._clusters: list[_Cluster] = []
+        self._grid: dict[tuple[int, int], list[int]] = {}
+
+    def add_endpoint(self, location: TowerLocation, license_id: str) -> int:
+        """Register an endpoint; returns its cluster index."""
+        index = self._find_cluster(location.point)
+        if index is None:
+            index = len(self._clusters)
+            self._clusters.append(
+                _Cluster(
+                    anchor=location.point,
+                    ground_elevation_m=location.ground_elevation_m,
+                    structure_height_m=location.structure_height_m,
+                    site_name=location.site_name,
+                    license_ids={license_id},
+                )
+            )
+            key = coordinate_key(location.point, self.tolerance_m)
+            self._grid.setdefault(key, []).append(index)
+        else:
+            cluster = self._clusters[index]
+            cluster.license_ids.add(license_id)
+            # Prefer the richest metadata seen for the tower.
+            if not cluster.site_name and location.site_name:
+                cluster.site_name = location.site_name
+            if location.structure_height_m > cluster.structure_height_m:
+                cluster.structure_height_m = location.structure_height_m
+        return index
+
+    def _find_cluster(self, point: GeoPoint) -> int | None:
+        center = coordinate_key(point, self.tolerance_m)
+        for d_lat in (-1, 0, 1):
+            for d_lon in (-1, 0, 1):
+                key = (center[0] + d_lat, center[1] + d_lon)
+                for index in self._grid.get(key, ()):
+                    anchor = self._clusters[index].anchor
+                    if geodesic_distance(point, anchor) <= self.tolerance_m:
+                        return index
+        return None
+
+    def towers(self) -> tuple[list[Tower], dict[int, str]]:
+        """Finalise clusters into towers with stable, geography-sorted ids.
+
+        Returns the tower list and a cluster-index → tower-id mapping.
+        """
+        order = sorted(
+            range(len(self._clusters)),
+            key=lambda i: (
+                self._clusters[i].anchor.longitude,
+                self._clusters[i].anchor.latitude,
+            ),
+        )
+        towers: list[Tower] = []
+        index_to_id: dict[int, str] = {}
+        for rank, cluster_index in enumerate(order, start=1):
+            cluster = self._clusters[cluster_index]
+            tower_id = f"twr-{rank:04d}"
+            index_to_id[cluster_index] = tower_id
+            towers.append(
+                Tower(
+                    tower_id=tower_id,
+                    point=cluster.anchor,
+                    ground_elevation_m=cluster.ground_elevation_m,
+                    structure_height_m=cluster.structure_height_m,
+                    site_name=cluster.site_name,
+                    license_ids=tuple(sorted(cluster.license_ids)),
+                )
+            )
+        return towers, index_to_id
+
+
+def stitch_licenses(
+    licenses: list[License], tolerance_m: float = STITCH_TOLERANCE_M
+) -> tuple[list[Tower], list[MicrowaveLink]]:
+    """Stitch a set of licenses into towers and merged microwave links.
+
+    Links filed multiple times over the same tower pair (e.g. one license
+    per direction, or refilings with extra frequencies) merge into a single
+    :class:`MicrowaveLink` carrying the union of frequencies and license
+    ids.  Link length is the geodesic distance between the canonical tower
+    anchors.
+    """
+    stitcher = EndpointStitcher(tolerance_m)
+    # endpoint_clusters[(license_id, location_number)] -> cluster index
+    endpoint_clusters: dict[tuple[str, int], int] = {}
+    for lic in licenses:
+        for number, location in lic.locations.items():
+            endpoint_clusters[(lic.license_id, number)] = stitcher.add_endpoint(
+                location, lic.license_id
+            )
+
+    towers, index_to_id = stitcher.towers()
+    tower_points = {tower.tower_id: tower.point for tower in towers}
+
+    merged: dict[frozenset[str], dict] = {}
+    for lic in licenses:
+        for path in lic.paths:
+            tx_id = index_to_id[endpoint_clusters[(lic.license_id, path.tx_location_number)]]
+            rx_id = index_to_id[endpoint_clusters[(lic.license_id, path.rx_location_number)]]
+            if tx_id == rx_id:
+                # Both endpoints stitched to one tower: degenerate filing,
+                # cannot form a link.
+                continue
+            key = frozenset((tx_id, rx_id))
+            entry = merged.setdefault(
+                key, {"frequencies": set(), "licenses": set()}
+            )
+            entry["frequencies"].update(path.frequencies_mhz)
+            entry["licenses"].add(lic.license_id)
+
+    links: list[MicrowaveLink] = []
+    for key in sorted(merged, key=sorted):
+        tower_a, tower_b = sorted(key)
+        entry = merged[key]
+        links.append(
+            MicrowaveLink(
+                tower_a=tower_a,
+                tower_b=tower_b,
+                length_m=geodesic_distance(tower_points[tower_a], tower_points[tower_b]),
+                frequencies_mhz=tuple(sorted(entry["frequencies"])),
+                license_ids=tuple(sorted(entry["licenses"])),
+            )
+        )
+    return towers, links

@@ -1,0 +1,123 @@
+"""Longitudinal reconstruction (§4): latency and licensing over time.
+
+The paper reconstructs each network on January 1st of every year from 2013
+through 2019, plus April 1st 2020, and plots (Fig 1) the end-to-end latency
+and (Fig 2) the number of active licenses.  This module produces those
+series from raw license records.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.corridor import CorridorSpec
+from repro.core.reconstruction import NetworkReconstructor
+from repro.uls.database import UlsDatabase
+from repro.uls.records import License
+
+
+def yearly_snapshot_dates(
+    first_year: int = 2013,
+    last_year: int = 2019,
+    final_date: dt.date = dt.date(2020, 4, 1),
+) -> list[dt.date]:
+    """The paper's date grid: Jan 1 of each year, then the final date."""
+    if last_year < first_year:
+        raise ValueError("last_year must be >= first_year")
+    dates = [dt.date(year, 1, 1) for year in range(first_year, last_year + 1)]
+    if final_date is not None:
+        if dates and final_date <= dates[-1]:
+            raise ValueError("final_date must come after the yearly grid")
+        dates.append(final_date)
+    return dates
+
+
+@dataclass(frozen=True, slots=True)
+class TimelinePoint:
+    """One sample of a network's latency trajectory.
+
+    ``latency_ms`` is None when the network has no end-to-end path on that
+    date (the network does not appear on the plot for that year, like
+    Pierce Broadband before 2020 in Fig 1).
+    """
+
+    date: dt.date
+    latency_ms: float | None
+    tower_count: int | None = None
+
+
+def latency_timeline(
+    database: UlsDatabase,
+    corridor: CorridorSpec,
+    licensee: str,
+    dates: Sequence[dt.date],
+    source: str = "CME",
+    target: str = "NY4",
+    reconstructor: NetworkReconstructor | None = None,
+) -> list[TimelinePoint]:
+    """The Fig 1 series: end-to-end latency of one licensee over time."""
+    reconstructor = reconstructor or NetworkReconstructor(corridor)
+    licenses = database.licenses_for(licensee)
+    points = []
+    for date in dates:
+        network = reconstructor.reconstruct(licenses, date, licensee=licensee)
+        route = network.lowest_latency_route(source, target)
+        if route is None:
+            points.append(TimelinePoint(date=date, latency_ms=None))
+        else:
+            points.append(
+                TimelinePoint(
+                    date=date,
+                    latency_ms=route.latency_ms,
+                    tower_count=route.tower_count,
+                )
+            )
+    return points
+
+
+@dataclass(frozen=True, slots=True)
+class LicenseCountSeries:
+    """The Fig 2 series: active license counts for one licensee."""
+
+    licensee: str
+    dates: tuple[dt.date, ...]
+    counts: tuple[int, ...]
+
+    def as_pairs(self) -> list[tuple[dt.date, int]]:
+        return list(zip(self.dates, self.counts))
+
+
+def active_license_count(licenses: Iterable[License], on_date: dt.date) -> int:
+    """Number of licenses active on a date."""
+    return sum(1 for lic in licenses if lic.is_active(on_date))
+
+
+def license_count_timeline(
+    database: UlsDatabase,
+    licensee: str,
+    dates: Sequence[dt.date],
+) -> LicenseCountSeries:
+    """Active-license counts for ``licensee`` at each date."""
+    licenses = database.licenses_for(licensee)
+    counts = tuple(active_license_count(licenses, date) for date in dates)
+    return LicenseCountSeries(licensee=licensee, dates=tuple(dates), counts=counts)
+
+
+def grant_cancellation_activity(
+    database: UlsDatabase, licensee: str, year: int
+) -> tuple[int, int]:
+    """(grants, cancellations) filed by ``licensee`` during ``year``.
+
+    §4 uses this to show churn that net counts hide (e.g. National Tower
+    Company both granting and cancelling during 2014).
+    """
+    grants = 0
+    cancellations = 0
+    for lic in database.licenses_for(licensee):
+        if lic.grant_date is not None and lic.grant_date.year == year:
+            grants += 1
+        if lic.cancellation_date is not None and lic.cancellation_date.year == year:
+            cancellations += 1
+    return grants, cancellations

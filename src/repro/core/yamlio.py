@@ -1,0 +1,153 @@
+"""Human-readable YAML export of reconstructed networks.
+
+The paper's tool "outputs the networks as human-readable YAML files,
+incorporating information about tower coordinates and heights, link
+lengths, and operating frequencies" (§1).  This module serialises an
+:class:`HftNetwork` to exactly that, and loads it back.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from pathlib import Path
+from typing import Any
+
+import yaml
+
+from repro.core.corridor import DataCenterSite
+from repro.core.latency import LatencyModel
+from repro.core.network import FiberTail, HftNetwork, MicrowaveLink, Tower
+from repro.geodesy import GeoPoint
+
+_FORMAT_VERSION = 1
+
+
+def network_to_dict(network: HftNetwork) -> dict[str, Any]:
+    """A plain-dict representation suitable for YAML dumping."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "licensee": network.licensee,
+        "as_of": network.as_of.isoformat(),
+        "latency_model": {
+            "microwave_speed_mps": network.latency_model.microwave_speed,
+            "fiber_speed_mps": network.latency_model.fiber_speed,
+            "per_tower_overhead_s": network.latency_model.per_tower_overhead_s,
+        },
+        "data_centers": [
+            {
+                "name": dc.name,
+                "latitude": dc.point.latitude,
+                "longitude": dc.point.longitude,
+            }
+            for dc in network.data_centers.values()
+        ],
+        "towers": [
+            {
+                "id": tower.tower_id,
+                "latitude": round(tower.point.latitude, 8),
+                "longitude": round(tower.point.longitude, 8),
+                "ground_elevation_m": tower.ground_elevation_m,
+                "structure_height_m": tower.structure_height_m,
+                "site_name": tower.site_name,
+                "licenses": list(tower.license_ids),
+            }
+            for tower in network.towers.values()
+        ],
+        "links": [
+            {
+                "towers": [link.tower_a, link.tower_b],
+                "length_km": round(link.length_m / 1000.0, 6),
+                "frequencies_ghz": [
+                    round(freq / 1000.0, 5) for freq in link.frequencies_mhz
+                ],
+                "licenses": list(link.license_ids),
+            }
+            for link in network.links
+        ],
+        "fiber_tails": [
+            {
+                "data_center": tail.data_center,
+                "tower": tail.tower_id,
+                "length_km": round(tail.length_m / 1000.0, 6),
+            }
+            for tail in network.fiber_tails
+        ],
+    }
+
+
+def network_to_yaml(network: HftNetwork, path: str | Path | None = None) -> str:
+    """Serialise a network to YAML; optionally write it to ``path``."""
+    text = yaml.safe_dump(
+        network_to_dict(network), sort_keys=False, default_flow_style=False
+    )
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text
+
+
+def network_from_dict(data: dict[str, Any]) -> HftNetwork:
+    """Rebuild a network from :func:`network_to_dict` output."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported format version: {version!r}")
+    model_data = data["latency_model"]
+    latency_model = LatencyModel(
+        microwave_speed=model_data["microwave_speed_mps"],
+        fiber_speed=model_data["fiber_speed_mps"],
+        per_tower_overhead_s=model_data["per_tower_overhead_s"],
+    )
+    data_centers = [
+        DataCenterSite(dc["name"], GeoPoint(dc["latitude"], dc["longitude"]))
+        for dc in data["data_centers"]
+    ]
+    towers = [
+        Tower(
+            tower_id=entry["id"],
+            point=GeoPoint(entry["latitude"], entry["longitude"]),
+            ground_elevation_m=entry["ground_elevation_m"],
+            structure_height_m=entry["structure_height_m"],
+            site_name=entry["site_name"],
+            license_ids=tuple(entry["licenses"]),
+        )
+        for entry in data["towers"]
+    ]
+    links = [
+        MicrowaveLink(
+            tower_a=entry["towers"][0],
+            tower_b=entry["towers"][1],
+            length_m=entry["length_km"] * 1000.0,
+            frequencies_mhz=tuple(
+                round(freq * 1000.0, 2) for freq in entry["frequencies_ghz"]
+            ),
+            license_ids=tuple(entry["licenses"]),
+        )
+        for entry in data["links"]
+    ]
+    tails = [
+        FiberTail(
+            data_center=entry["data_center"],
+            tower_id=entry["tower"],
+            length_m=entry["length_km"] * 1000.0,
+        )
+        for entry in data["fiber_tails"]
+    ]
+    return HftNetwork(
+        licensee=data["licensee"],
+        as_of=dt.date.fromisoformat(data["as_of"]),
+        towers=towers,
+        links=links,
+        fiber_tails=tails,
+        data_centers=data_centers,
+        latency_model=latency_model,
+    )
+
+
+def network_from_yaml(source: str | Path) -> HftNetwork:
+    """Load a network from YAML text or a file path."""
+    if isinstance(source, Path) or (
+        isinstance(source, str) and "\n" not in source and source.endswith((".yaml", ".yml"))
+    ):
+        text = Path(source).read_text(encoding="utf-8")
+    else:
+        text = source
+    return network_from_dict(yaml.safe_load(text))

@@ -1,0 +1,107 @@
+"""APA augmentation: spend leftover budget on bypass sites.
+
+Implements the paper's first §6 takeaway — "such networks should be
+engineered towards high APA using redundant MW links close to the
+shortest paths" — with its third: the bypasses run in the 6 GHz band, so
+they survive the weather that takes the trunk down.
+
+Greedy selection: at each step, add the (bypass site, trunk tower) pair
+with the best marginal APA gain per unit cost, where a bypass around
+trunk tower ``i`` connects towers ``i−1`` and ``i+1`` and protects the
+two adjacent trunk links.  Greedy is within the usual (1−1/e) factor of
+optimal for this coverage objective and is what an operator iterating on
+lease offers would actually do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geodesy import geodesic_distance
+from repro.radio.budget import LinkBudget
+from repro.design.sites import CandidateSite
+from repro.design.trunk import TrunkDesign
+
+
+@dataclass(frozen=True)
+class Bypass:
+    """A bypass site protecting the two links around a trunk tower."""
+
+    site: CandidateSite
+    around_index: int  # trunk tower index whose adjacent links it covers
+    band_ghz: float
+
+    @property
+    def covered_links(self) -> tuple[int, int]:
+        return (self.around_index - 1, self.around_index)
+
+
+def augment_with_bypasses(
+    trunk: TrunkDesign,
+    pool: list[CandidateSite],
+    budget: float,
+    band_ghz: float = 6.0,
+    link_budget: LinkBudget | None = None,
+    required_margin_db: float = 35.0,
+    max_detour_factor: float = 3.0,
+) -> list[Bypass]:
+    """Greedy bypass selection within ``budget``.
+
+    A candidate bypass for trunk tower i must close both hops (to towers
+    i−1 and i+1) at ``band_ghz`` with the required margin, must not be a
+    trunk site, and must not detour more than ``max_detour_factor``× the
+    direct two-hop distance (grotesque detours would blow the APA latency
+    bound anyway).
+    """
+    if budget < 0.0:
+        raise ValueError("budget cannot be negative")
+    link_budget = link_budget or LinkBudget()
+    max_hop_m = link_budget.max_hop_km(band_ghz, required_margin_db) * 1000.0
+    trunk_ids = {site.site_id for site in trunk.sites}
+
+    # Candidate (cost-effectiveness, bypass) options per trunk tower.
+    options: dict[int, list[tuple[float, Bypass]]] = {}
+    for index in range(1, len(trunk.sites) - 1):
+        previous = trunk.sites[index - 1].point
+        nxt = trunk.sites[index + 1].point
+        direct = geodesic_distance(previous, nxt)
+        for site in pool:
+            if site.site_id in trunk_ids:
+                continue
+            leg_a = geodesic_distance(previous, site.point)
+            leg_b = geodesic_distance(site.point, nxt)
+            if leg_a > max_hop_m or leg_b > max_hop_m:
+                continue
+            if leg_a + leg_b <= direct:
+                continue  # degenerate: would shorten the trunk, not bypass it
+            if leg_a + leg_b > max_detour_factor * direct:
+                continue
+            options.setdefault(index, []).append((site.annual_cost, Bypass(site, index, band_ghz)))
+    for index in options:
+        options[index].sort(key=lambda pair: pair[0])
+
+    chosen: list[Bypass] = []
+    covered: set[int] = set()
+    used_sites: set[str] = set()
+    remaining = budget
+    while True:
+        best: tuple[float, int, Bypass] | None = None
+        for index, candidates in options.items():
+            for cost, bypass in candidates:
+                if cost > remaining or bypass.site.site_id in used_sites:
+                    continue
+                gain = len(set(bypass.covered_links) - covered)
+                if gain == 0:
+                    continue
+                score = gain / cost
+                if best is None or score > best[0]:
+                    best = (score, index, bypass)
+                break  # candidates are cost-sorted; first affordable is best here
+        if best is None:
+            break
+        _, _, bypass = best
+        chosen.append(bypass)
+        covered.update(bypass.covered_links)
+        used_sites.add(bypass.site.site_id)
+        remaining -= bypass.site.annual_cost
+    return chosen

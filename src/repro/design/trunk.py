@@ -1,0 +1,173 @@
+"""Budget-constrained trunk design: a resource-constrained shortest path.
+
+Given a candidate-site pool, pick the chain of sites from the west
+gateway to the east gateway that minimises propagation latency subject to
+(a) every hop being closable by the radio link budget at the chosen band,
+and (b) total annual site cost within budget.
+
+Eastward progress is enforced (each hop moves east), which makes the
+site graph a DAG — the corridor regime — so the label-correcting dynamic
+program below is exact.  Labels are (latency, cost) pairs per node with
+dominance pruning; cost is bucketed to keep the Pareto frontier small
+without affecting feasibility (bucketing only ever *over*-estimates cost,
+so no over-budget design is returned).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.constants import MICROWAVE_SPEED
+from repro.geodesy import GeoPoint, geodesic_distance
+from repro.radio.budget import LinkBudget
+from repro.design.sites import CandidateSite
+
+#: Cost bucketing granularity for dominance pruning.
+_COST_QUANTUM = 0.25
+
+
+class DesignError(RuntimeError):
+    """Raised when no feasible design exists under the constraints."""
+
+
+@dataclass(frozen=True)
+class TrunkDesign:
+    """A designed trunk: ordered sites, cost, and predicted latency."""
+
+    sites: tuple[CandidateSite, ...]
+    band_ghz: float
+    total_cost: float
+    microwave_length_m: float
+
+    @property
+    def latency_s(self) -> float:
+        return self.microwave_length_m / MICROWAVE_SPEED
+
+    @property
+    def hop_count(self) -> int:
+        return len(self.sites) - 1
+
+    def hop_lengths_km(self) -> list[float]:
+        return [
+            geodesic_distance(a.point, b.point) / 1000.0
+            for a, b in zip(self.sites, self.sites[1:])
+        ]
+
+
+@dataclass
+class _Label:
+    latency_m: float  # path length so far (metres ≡ latency at c)
+    cost: float
+    site_index: int
+    predecessor: "_Label | None"
+
+
+def design_trunk(
+    pool: list[CandidateSite],
+    west_gateway: CandidateSite,
+    east_gateway: CandidateSite,
+    budget: float,
+    band_ghz: float = 11.0,
+    link_budget: LinkBudget | None = None,
+    required_margin_db: float = 35.0,
+    min_hop_km: float = 5.0,
+) -> TrunkDesign:
+    """The minimum-latency west→east chain within ``budget``.
+
+    Gateways are mandatory endpoints; their costs count against the
+    budget.  Raises :class:`DesignError` when the pool admits no chain
+    (hops too long for the band) or the budget is too small.
+    """
+    if budget <= 0.0:
+        raise ValueError("budget must be positive")
+    link_budget = link_budget or LinkBudget()
+    max_hop_m = link_budget.max_hop_km(band_ghz, required_margin_db) * 1000.0
+    if max_hop_m <= min_hop_km * 1000.0:
+        raise DesignError(
+            f"band {band_ghz} GHz cannot close hops beyond {max_hop_m / 1000:.1f} km"
+        )
+
+    # Nodes sorted west→east; index 0 is the west gateway, last the east.
+    interior = [
+        site
+        for site in pool
+        if west_gateway.point.longitude
+        < site.point.longitude
+        < east_gateway.point.longitude
+    ]
+    nodes = [west_gateway] + sorted(
+        interior, key=lambda site: site.point.longitude
+    ) + [east_gateway]
+    n = len(nodes)
+
+    # labels[i]: bucketed-cost -> best (lowest-latency) label at node i.
+    labels: list[dict[int, _Label]] = [dict() for _ in range(n)]
+    start = _Label(0.0, west_gateway.annual_cost, 0, None)
+    if start.cost > budget:
+        raise DesignError("budget cannot even cover the west gateway")
+    labels[0][_bucket(start.cost)] = start
+
+    min_hop_m = min_hop_km * 1000.0
+    for i in range(n):
+        if not labels[i]:
+            continue
+        current = nodes[i]
+        for j in range(i + 1, n):
+            candidate = nodes[j]
+            # Cheap longitude prefilter before the geodesic call: one
+            # degree of longitude on the corridor is >80 km.
+            dlon = candidate.point.longitude - current.point.longitude
+            if dlon * 80_000.0 > max_hop_m * 1.3:
+                break  # nodes are longitude-sorted; no later j can be closer
+            hop = geodesic_distance(current.point, candidate.point)
+            if hop > max_hop_m or hop < min_hop_m:
+                continue
+            for label in list(labels[i].values()):
+                new_cost = label.cost + candidate.annual_cost
+                if new_cost > budget:
+                    continue
+                new_label = _Label(label.latency_m + hop, new_cost, j, label)
+                _insert(labels[j], new_label)
+
+    if not labels[n - 1]:
+        raise DesignError("no feasible chain within budget and hop limits")
+    best = min(labels[n - 1].values(), key=lambda label: label.latency_m)
+
+    chain: list[CandidateSite] = []
+    cursor: _Label | None = best
+    while cursor is not None:
+        chain.append(nodes[cursor.site_index])
+        cursor = cursor.predecessor
+    chain.reverse()
+    return TrunkDesign(
+        sites=tuple(chain),
+        band_ghz=band_ghz,
+        total_cost=best.cost,
+        microwave_length_m=best.latency_m,
+    )
+
+
+def _bucket(cost: float) -> int:
+    return int(math.ceil(cost / _COST_QUANTUM))
+
+
+def _insert(bucket_map: dict[int, _Label], label: _Label) -> None:
+    """Insert with dominance pruning: keep the best latency per cost
+    bucket, and drop buckets dominated by a cheaper-and-faster label."""
+    key = _bucket(label.cost)
+    existing = bucket_map.get(key)
+    if existing is not None and existing.latency_m <= label.latency_m:
+        return
+    # Dominated by any cheaper bucket with latency <= ours?
+    for other_key, other in bucket_map.items():
+        if other_key <= key and other.latency_m <= label.latency_m:
+            return
+    bucket_map[key] = label
+    # Remove buckets we now dominate (more expensive, slower).
+    for other_key in [
+        k
+        for k, other in bucket_map.items()
+        if k > key and other.latency_m >= label.latency_m
+    ]:
+        del bucket_map[other_key]

@@ -1,0 +1,257 @@
+"""WGS84 Earth model and geodesic computations.
+
+Implements the classical Vincenty (1975) solutions of the inverse and direct
+geodesic problems on the WGS84 ellipsoid, with a spherical great-circle
+fallback for the nearly-antipodal cases where Vincenty's inverse iteration
+does not converge.  Accuracy of the inverse solution is well under a
+millimetre for corridor-scale distances, far beyond what the latency
+analysis needs (1 microsecond of light travel ~ 300 m).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+#: WGS84 semi-major axis (equatorial radius), metres.
+EARTH_EQUATORIAL_RADIUS_M = 6_378_137.0
+
+#: WGS84 flattening.
+EARTH_FLATTENING = 1.0 / 298.257223563
+
+#: WGS84 semi-minor axis (polar radius), metres.
+EARTH_POLAR_RADIUS_M = EARTH_EQUATORIAL_RADIUS_M * (1.0 - EARTH_FLATTENING)
+
+#: Mean Earth radius (IUGG), metres — used by the spherical fallback.
+EARTH_MEAN_RADIUS_M = 6_371_008.8
+
+_VINCENTY_MAX_ITERATIONS = 200
+_VINCENTY_CONVERGENCE = 1e-12
+
+
+@dataclass(frozen=True, slots=True)
+class GeoPoint:
+    """A point on the Earth's surface (WGS84 latitude/longitude, degrees).
+
+    ``elevation_m`` carries the ground/structure elevation when known; it
+    participates in equality but not in distance computations (the paper's
+    latency model is purely horizontal).
+    """
+
+    latitude: float
+    longitude: float
+    elevation_m: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.latitude <= 90.0:
+            raise ValueError(f"latitude out of range: {self.latitude!r}")
+        if not -180.0 <= self.longitude <= 180.0:
+            raise ValueError(f"longitude out of range: {self.longitude!r}")
+
+    def distance_to(self, other: "GeoPoint") -> float:
+        """Geodesic distance to ``other`` in metres."""
+        return geodesic_distance(self, other)
+
+    def azimuth_to(self, other: "GeoPoint") -> float:
+        """Initial geodesic azimuth towards ``other``, degrees clockwise from north."""
+        return geodesic_azimuth(self, other)
+
+    def destination(self, azimuth_deg: float, distance_m: float) -> "GeoPoint":
+        """The point reached by travelling ``distance_m`` along ``azimuth_deg``."""
+        return geodesic_destination(self, azimuth_deg, distance_m)
+
+    def rounded(self, decimals: int = 6) -> tuple[float, float]:
+        """A hashable (lat, lon) key rounded to ``decimals`` places."""
+        return (round(self.latitude, decimals), round(self.longitude, decimals))
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.latitude
+        yield self.longitude
+
+
+def great_circle_distance(a: GeoPoint, b: GeoPoint) -> float:
+    """Spherical (haversine) distance in metres on the mean-radius sphere."""
+    phi1, phi2 = math.radians(a.latitude), math.radians(b.latitude)
+    dphi = phi2 - phi1
+    dlam = math.radians(b.longitude - a.longitude)
+    h = math.sin(dphi / 2.0) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlam / 2.0) ** 2
+    return 2.0 * EARTH_MEAN_RADIUS_M * math.asin(min(1.0, math.sqrt(h)))
+
+
+def geodesic_inverse(a: GeoPoint, b: GeoPoint) -> tuple[float, float, float]:
+    """Solve the WGS84 inverse geodesic problem.
+
+    Returns ``(distance_m, initial_azimuth_deg, final_azimuth_deg)`` from
+    ``a`` to ``b``.  Falls back to the spherical solution for the rare
+    nearly-antipodal pairs where Vincenty's iteration fails to converge
+    (irrelevant on the Chicago–NJ corridor but kept for robustness).
+    """
+    if a.rounded(12) == b.rounded(12):
+        return (0.0, 0.0, 0.0)
+
+    f = EARTH_FLATTENING
+    a_ax = EARTH_EQUATORIAL_RADIUS_M
+    b_ax = EARTH_POLAR_RADIUS_M
+
+    u1 = math.atan((1.0 - f) * math.tan(math.radians(a.latitude)))
+    u2 = math.atan((1.0 - f) * math.tan(math.radians(b.latitude)))
+    big_l = math.radians(b.longitude - a.longitude)
+
+    sin_u1, cos_u1 = math.sin(u1), math.cos(u1)
+    sin_u2, cos_u2 = math.sin(u2), math.cos(u2)
+
+    lam = big_l
+    for _ in range(_VINCENTY_MAX_ITERATIONS):
+        sin_lam, cos_lam = math.sin(lam), math.cos(lam)
+        sin_sigma = math.sqrt(
+            (cos_u2 * sin_lam) ** 2 + (cos_u1 * sin_u2 - sin_u1 * cos_u2 * cos_lam) ** 2
+        )
+        if sin_sigma == 0.0:
+            return (0.0, 0.0, 0.0)
+        cos_sigma = sin_u1 * sin_u2 + cos_u1 * cos_u2 * cos_lam
+        sigma = math.atan2(sin_sigma, cos_sigma)
+        sin_alpha = cos_u1 * cos_u2 * sin_lam / sin_sigma
+        cos_sq_alpha = 1.0 - sin_alpha**2
+        if cos_sq_alpha == 0.0:
+            cos_2sigma_m = 0.0  # equatorial geodesic
+        else:
+            cos_2sigma_m = cos_sigma - 2.0 * sin_u1 * sin_u2 / cos_sq_alpha
+        c = f / 16.0 * cos_sq_alpha * (4.0 + f * (4.0 - 3.0 * cos_sq_alpha))
+        lam_prev = lam
+        lam = big_l + (1.0 - c) * f * sin_alpha * (
+            sigma
+            + c * sin_sigma * (cos_2sigma_m + c * cos_sigma * (-1.0 + 2.0 * cos_2sigma_m**2))
+        )
+        if abs(lam - lam_prev) < _VINCENTY_CONVERGENCE:
+            break
+    else:
+        # Nearly antipodal: Vincenty does not converge.  Use the spherical
+        # solution, which is accurate to ~0.5% — acceptable for a fallback.
+        dist = great_circle_distance(a, b)
+        az_fwd = _spherical_azimuth(a, b)
+        az_back = (_spherical_azimuth(b, a) + 180.0) % 360.0
+        return (dist, az_fwd, az_back)
+
+    u_sq = cos_sq_alpha * (a_ax**2 - b_ax**2) / b_ax**2
+    big_a = 1.0 + u_sq / 16384.0 * (4096.0 + u_sq * (-768.0 + u_sq * (320.0 - 175.0 * u_sq)))
+    big_b = u_sq / 1024.0 * (256.0 + u_sq * (-128.0 + u_sq * (74.0 - 47.0 * u_sq)))
+    delta_sigma = (
+        big_b
+        * sin_sigma
+        * (
+            cos_2sigma_m
+            + big_b
+            / 4.0
+            * (
+                cos_sigma * (-1.0 + 2.0 * cos_2sigma_m**2)
+                - big_b
+                / 6.0
+                * cos_2sigma_m
+                * (-3.0 + 4.0 * sin_sigma**2)
+                * (-3.0 + 4.0 * cos_2sigma_m**2)
+            )
+        )
+    )
+    distance = b_ax * big_a * (sigma - delta_sigma)
+
+    az_fwd = math.degrees(
+        math.atan2(cos_u2 * math.sin(lam), cos_u1 * sin_u2 - sin_u1 * cos_u2 * math.cos(lam))
+    )
+    az_back = math.degrees(
+        math.atan2(cos_u1 * math.sin(lam), -sin_u1 * cos_u2 + cos_u1 * sin_u2 * math.cos(lam))
+    )
+    return (distance, az_fwd % 360.0, az_back % 360.0)
+
+
+def _spherical_azimuth(a: GeoPoint, b: GeoPoint) -> float:
+    phi1, phi2 = math.radians(a.latitude), math.radians(b.latitude)
+    dlam = math.radians(b.longitude - a.longitude)
+    y = math.sin(dlam) * math.cos(phi2)
+    x = math.cos(phi1) * math.sin(phi2) - math.sin(phi1) * math.cos(phi2) * math.cos(dlam)
+    return math.degrees(math.atan2(y, x)) % 360.0
+
+
+def geodesic_distance(a: GeoPoint, b: GeoPoint) -> float:
+    """WGS84 geodesic distance between ``a`` and ``b`` in metres."""
+    return geodesic_inverse(a, b)[0]
+
+
+def geodesic_azimuth(a: GeoPoint, b: GeoPoint) -> float:
+    """Initial azimuth (degrees clockwise from north) of the geodesic a→b."""
+    return geodesic_inverse(a, b)[1]
+
+
+def geodesic_destination(start: GeoPoint, azimuth_deg: float, distance_m: float) -> GeoPoint:
+    """Solve the WGS84 direct geodesic problem (Vincenty direct formula).
+
+    Returns the point reached by travelling ``distance_m`` metres from
+    ``start`` along the initial bearing ``azimuth_deg``.
+    """
+    if distance_m == 0.0:
+        return GeoPoint(start.latitude, start.longitude)
+    if distance_m < 0.0:
+        return geodesic_destination(start, (azimuth_deg + 180.0) % 360.0, -distance_m)
+
+    f = EARTH_FLATTENING
+    b_ax = EARTH_POLAR_RADIUS_M
+    a_ax = EARTH_EQUATORIAL_RADIUS_M
+
+    alpha1 = math.radians(azimuth_deg)
+    u1 = math.atan((1.0 - f) * math.tan(math.radians(start.latitude)))
+    sigma1 = math.atan2(math.tan(u1), math.cos(alpha1))
+    sin_alpha = math.cos(u1) * math.sin(alpha1)
+    cos_sq_alpha = 1.0 - sin_alpha**2
+    u_sq = cos_sq_alpha * (a_ax**2 - b_ax**2) / b_ax**2
+    big_a = 1.0 + u_sq / 16384.0 * (4096.0 + u_sq * (-768.0 + u_sq * (320.0 - 175.0 * u_sq)))
+    big_b = u_sq / 1024.0 * (256.0 + u_sq * (-128.0 + u_sq * (74.0 - 47.0 * u_sq)))
+
+    sigma = distance_m / (b_ax * big_a)
+    for _ in range(_VINCENTY_MAX_ITERATIONS):
+        cos_2sigma_m = math.cos(2.0 * sigma1 + sigma)
+        sin_sigma, cos_sigma = math.sin(sigma), math.cos(sigma)
+        delta_sigma = (
+            big_b
+            * sin_sigma
+            * (
+                cos_2sigma_m
+                + big_b
+                / 4.0
+                * (
+                    cos_sigma * (-1.0 + 2.0 * cos_2sigma_m**2)
+                    - big_b
+                    / 6.0
+                    * cos_2sigma_m
+                    * (-3.0 + 4.0 * sin_sigma**2)
+                    * (-3.0 + 4.0 * cos_2sigma_m**2)
+                )
+            )
+        )
+        sigma_prev = sigma
+        sigma = distance_m / (b_ax * big_a) + delta_sigma
+        if abs(sigma - sigma_prev) < _VINCENTY_CONVERGENCE:
+            break
+
+    sin_sigma, cos_sigma = math.sin(sigma), math.cos(sigma)
+    sin_u1, cos_u1 = math.sin(u1), math.cos(u1)
+    cos_2sigma_m = math.cos(2.0 * sigma1 + sigma)
+
+    tmp = sin_u1 * sin_sigma - cos_u1 * cos_sigma * math.cos(alpha1)
+    lat2 = math.atan2(
+        sin_u1 * cos_sigma + cos_u1 * sin_sigma * math.cos(alpha1),
+        (1.0 - f) * math.sqrt(sin_alpha**2 + tmp**2),
+    )
+    lam = math.atan2(
+        sin_sigma * math.sin(alpha1),
+        cos_u1 * cos_sigma - sin_u1 * sin_sigma * math.cos(alpha1),
+    )
+    c = f / 16.0 * cos_sq_alpha * (4.0 + f * (4.0 - 3.0 * cos_sq_alpha))
+    big_l = lam - (1.0 - c) * f * sin_alpha * (
+        sigma + c * sin_sigma * (cos_2sigma_m + c * cos_sigma * (-1.0 + 2.0 * cos_2sigma_m**2))
+    )
+    lon2 = math.radians(start.longitude) + big_l
+
+    lon_deg = math.degrees(lon2)
+    # Normalise into [-180, 180].
+    lon_deg = (lon_deg + 180.0) % 360.0 - 180.0
+    return GeoPoint(math.degrees(lat2), lon_deg)

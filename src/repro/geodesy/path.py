@@ -1,0 +1,124 @@
+"""Polyline geometry over sequences of :class:`GeoPoint`.
+
+Microwave routes are polylines of tower coordinates; the analyses need their
+lengths, their stretch relative to the endpoint geodesic, interpolation along
+geodesics (for synthesising tower sites), and cross-track offsets (for
+measuring how far a tower strays from the corridor geodesic).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.geodesy.earth import (
+    EARTH_MEAN_RADIUS_M,
+    GeoPoint,
+    geodesic_destination,
+    geodesic_distance,
+    geodesic_inverse,
+)
+
+
+def polyline_length(points: Sequence[GeoPoint]) -> float:
+    """Total geodesic length of a polyline, metres.
+
+    An empty or single-point polyline has length zero.
+    """
+    return sum(
+        geodesic_distance(first, second) for first, second in zip(points, points[1:])
+    )
+
+
+def cumulative_distances(points: Sequence[GeoPoint]) -> list[float]:
+    """Cumulative geodesic distance at each vertex, starting at 0.0."""
+    if not points:
+        return []
+    distances = [0.0]
+    for first, second in zip(points, points[1:]):
+        distances.append(distances[-1] + geodesic_distance(first, second))
+    return distances
+
+
+def stretch_factor(points: Sequence[GeoPoint]) -> float:
+    """Polyline length divided by the geodesic distance between its endpoints.
+
+    Equals 1.0 for a straight (geodesic) two-point path; grows with detours.
+    Raises :class:`ValueError` for degenerate polylines (fewer than two
+    points or coincident endpoints).
+    """
+    if len(points) < 2:
+        raise ValueError("stretch factor needs at least two points")
+    direct = geodesic_distance(points[0], points[-1])
+    if direct == 0.0:
+        raise ValueError("stretch factor undefined for coincident endpoints")
+    return polyline_length(points) / direct
+
+
+def geodesic_interpolate(
+    start: GeoPoint, end: GeoPoint, fractions: Sequence[float]
+) -> list[GeoPoint]:
+    """Points along the geodesic from ``start`` to ``end``.
+
+    Each fraction is a position in [0, 1] along the geodesic (0 -> start,
+    1 -> end).  Fractions outside [0, 1] extrapolate along the same
+    geodesic, which is occasionally useful for placing gateway towers just
+    beyond a data center.
+    """
+    distance, azimuth, _ = geodesic_inverse(start, end)
+    points = []
+    for fraction in fractions:
+        if fraction == 0.0:
+            points.append(GeoPoint(start.latitude, start.longitude))
+        else:
+            points.append(geodesic_destination(start, azimuth, distance * fraction))
+    return points
+
+
+def offset_point(
+    start: GeoPoint, end: GeoPoint, fraction: float, lateral_m: float
+) -> GeoPoint:
+    """A point at ``fraction`` along the start→end geodesic, displaced
+    ``lateral_m`` metres perpendicular to it (positive = right of travel).
+    """
+    distance, azimuth, _ = geodesic_inverse(start, end)
+    on_path = (
+        GeoPoint(start.latitude, start.longitude)
+        if fraction == 0.0
+        else geodesic_destination(start, azimuth, distance * fraction)
+    )
+    if lateral_m == 0.0:
+        return on_path
+    perpendicular = (azimuth + (90.0 if lateral_m > 0.0 else -90.0)) % 360.0
+    return geodesic_destination(on_path, perpendicular, abs(lateral_m))
+
+
+def cross_track_distance(point: GeoPoint, start: GeoPoint, end: GeoPoint) -> float:
+    """Unsigned distance from ``point`` to the great circle through start→end.
+
+    Uses the spherical cross-track formula; the sub-0.5% spherical error is
+    irrelevant for the lateral offsets (a few km) this is used on.
+    """
+    d13 = geodesic_distance(start, point) / EARTH_MEAN_RADIUS_M
+    _, theta13, _ = geodesic_inverse(start, point)
+    _, theta12, _ = geodesic_inverse(start, end)
+    delta = math.radians(theta13 - theta12)
+    cross = math.asin(math.sin(d13) * math.sin(delta))
+    return abs(cross) * EARTH_MEAN_RADIUS_M
+
+
+def nearest_point_index(target: GeoPoint, points: Sequence[GeoPoint]) -> int:
+    """Index of the polyline vertex closest (geodesically) to ``target``.
+
+    Raises :class:`ValueError` on an empty sequence.
+    """
+    if not points:
+        raise ValueError("no points to search")
+    best_index = 0
+    best_distance = math.inf
+    for index, candidate in enumerate(points):
+        distance = geodesic_distance(target, candidate)
+        if distance < best_distance:
+            best_distance = distance
+            best_index = index
+    return best_index

@@ -1,0 +1,38 @@
+"""LEO satellite constellation substrate (Fig 5, §6).
+
+The paper's future outlook compares terrestrial microwave paths against
+low-Earth-orbit constellation paths: satellites enjoy line-of-sight
+inter-satellite links at c, but every path pays the up/down overhead of a
+few hundred kilometres of altitude, so over land microwave wins — while
+over oceans (where towers cannot stand) LEO beats fiber.
+
+* :mod:`repro.leo.constellation` — Walker-delta shells, circular-orbit
+  geometry, ECEF positions;
+* :mod:`repro.leo.isl` — +Grid inter-satellite link topology;
+* :mod:`repro.leo.latency` — ground-station attachment, constellation
+  routing, and the MW / LEO / fiber comparison model behind Fig 5.
+"""
+
+from repro.leo.constellation import Constellation, Satellite, WalkerShell
+from repro.leo.isl import isl_graph
+from repro.leo.latency import (
+    ComparisonPoint,
+    constellation_latency_s,
+    fiber_latency_s,
+    leo_lower_bound_s,
+    microwave_latency_s,
+    sweep_distances,
+)
+
+__all__ = [
+    "Constellation",
+    "Satellite",
+    "WalkerShell",
+    "isl_graph",
+    "ComparisonPoint",
+    "constellation_latency_s",
+    "fiber_latency_s",
+    "leo_lower_bound_s",
+    "microwave_latency_s",
+    "sweep_distances",
+]

@@ -1,0 +1,168 @@
+"""Walker-delta constellation geometry.
+
+A Walker-delta shell ``i: T/P/F`` has ``T`` satellites in ``P`` equally
+spaced circular orbital planes at inclination ``i``, with ``F`` units of
+inter-plane phase offset.  Positions are computed on a spherical Earth in
+an Earth-centred frame at a given epoch time; that is plenty for latency
+geometry (ellipticity corrections are metres over thousands of km).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.geodesy.earth import EARTH_MEAN_RADIUS_M, GeoPoint
+
+#: Standard gravitational parameter of Earth, m^3/s^2.
+EARTH_MU = 3.986004418e14
+
+
+@dataclass(frozen=True, slots=True)
+class Satellite:
+    """One satellite: identity and ECEF position (metres)."""
+
+    plane: int
+    slot: int
+    x: float
+    y: float
+    z: float
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.plane, self.slot)
+
+    def distance_to(self, other: "Satellite") -> float:
+        return math.dist((self.x, self.y, self.z), (other.x, other.y, other.z))
+
+
+def ecef_of(point: GeoPoint, altitude_m: float = 0.0) -> tuple[float, float, float]:
+    """Spherical ECEF coordinates of a ground point (metres)."""
+    radius = EARTH_MEAN_RADIUS_M + altitude_m
+    lat = math.radians(point.latitude)
+    lon = math.radians(point.longitude)
+    return (
+        radius * math.cos(lat) * math.cos(lon),
+        radius * math.cos(lat) * math.sin(lon),
+        radius * math.sin(lat),
+    )
+
+
+@dataclass(frozen=True)
+class WalkerShell:
+    """Walker-delta shell parameters."""
+
+    altitude_m: float
+    inclination_deg: float
+    n_planes: int
+    sats_per_plane: int
+    phase_factor: int = 1
+
+    def __post_init__(self) -> None:
+        if self.altitude_m <= 0.0:
+            raise ValueError("altitude must be positive")
+        if not 0.0 < self.inclination_deg <= 180.0:
+            raise ValueError("inclination out of range")
+        if self.n_planes < 1 or self.sats_per_plane < 1:
+            raise ValueError("need at least one plane and one satellite")
+        if not 0 <= self.phase_factor < self.n_planes:
+            raise ValueError("phase factor must be in [0, n_planes)")
+
+    @property
+    def total_satellites(self) -> int:
+        return self.n_planes * self.sats_per_plane
+
+    @property
+    def orbital_radius_m(self) -> float:
+        return EARTH_MEAN_RADIUS_M + self.altitude_m
+
+    @property
+    def orbital_period_s(self) -> float:
+        """Keplerian period of the circular orbit."""
+        return 2.0 * math.pi * math.sqrt(self.orbital_radius_m**3 / EARTH_MU)
+
+
+class Constellation:
+    """Satellite positions of a Walker shell at a fixed epoch time."""
+
+    def __init__(self, shell: WalkerShell, epoch_s: float = 0.0) -> None:
+        self.shell = shell
+        self.epoch_s = epoch_s
+        self._satellites = list(self._compute_positions())
+        self._by_key = {sat.key: sat for sat in self._satellites}
+
+    def _compute_positions(self) -> Iterator[Satellite]:
+        shell = self.shell
+        inclination = math.radians(shell.inclination_deg)
+        mean_motion = 2.0 * math.pi / shell.orbital_period_s
+        radius = shell.orbital_radius_m
+        for plane in range(shell.n_planes):
+            raan = 2.0 * math.pi * plane / shell.n_planes
+            for slot in range(shell.sats_per_plane):
+                phase = (
+                    2.0 * math.pi * slot / shell.sats_per_plane
+                    + 2.0
+                    * math.pi
+                    * shell.phase_factor
+                    * plane
+                    / shell.total_satellites
+                )
+                anomaly = phase + mean_motion * self.epoch_s
+                # Position in the orbital plane, then rotate by inclination
+                # and RAAN into the Earth-centred frame.
+                x_orb = radius * math.cos(anomaly)
+                y_orb = radius * math.sin(anomaly)
+                x_incl = x_orb
+                y_incl = y_orb * math.cos(inclination)
+                z_incl = y_orb * math.sin(inclination)
+                yield Satellite(
+                    plane=plane,
+                    slot=slot,
+                    x=x_incl * math.cos(raan) - y_incl * math.sin(raan),
+                    y=x_incl * math.sin(raan) + y_incl * math.cos(raan),
+                    z=z_incl,
+                )
+
+    @property
+    def satellites(self) -> list[Satellite]:
+        return list(self._satellites)
+
+    def satellite(self, plane: int, slot: int) -> Satellite:
+        return self._by_key[(plane, slot)]
+
+    def visible_from(
+        self, point: GeoPoint, min_elevation_deg: float = 25.0
+    ) -> list[tuple[Satellite, float]]:
+        """(satellite, slant range m) pairs above the elevation mask.
+
+        Visibility uses the standard slant-range condition: a satellite at
+        altitude h is above elevation ``e`` iff its slant range is at most
+        the single-root solution of the range-elevation triangle.
+        """
+        gx, gy, gz = ecef_of(point)
+        re = EARTH_MEAN_RADIUS_M
+        h = self.shell.altitude_m
+        elevation = math.radians(min_elevation_deg)
+        max_slant = re * (
+            math.sqrt(((re + h) / re) ** 2 - math.cos(elevation) ** 2)
+            - math.sin(elevation)
+        )
+        result = []
+        for sat in self._satellites:
+            slant = math.dist((gx, gy, gz), (sat.x, sat.y, sat.z))
+            if slant <= max_slant:
+                result.append((sat, slant))
+        result.sort(key=lambda pair: pair[1])
+        return result
+
+
+#: A Starlink-like first shell: 550 km, 53°, 72 planes × 22 satellites.
+STARLINK_SHELL = WalkerShell(
+    altitude_m=550_000.0, inclination_deg=53.0, n_planes=72, sats_per_plane=22
+)
+
+#: A lower shell at the paper's "as little as 300 km" altitude.
+LOW_SHELL = WalkerShell(
+    altitude_m=300_000.0, inclination_deg=53.0, n_planes=72, sats_per_plane=22
+)

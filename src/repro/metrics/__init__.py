@@ -1,0 +1,45 @@
+"""Network design metrics from the paper's analyses (§3, §5).
+
+* :mod:`repro.metrics.cdf` — empirical distribution utilities used by the
+  Fig 4 plots.
+* :mod:`repro.metrics.apa` — alternate path availability (Table 1/3).
+* :mod:`repro.metrics.link_lengths` — link-length distributions on
+  near-optimal paths (Fig 4a).
+* :mod:`repro.metrics.frequencies` — operating-frequency distributions on
+  shortest and alternate paths (Fig 4b).
+* :mod:`repro.metrics.rankings` — per-path latency rankings (Tables 1/2).
+* :mod:`repro.metrics.effective_latency` — weather-weighted effective
+  latency and route availability (the §5 thesis, quantified).
+"""
+
+from repro.metrics.apa import alternate_path_availability
+from repro.metrics.effective_latency import (
+    WeatherLatencyProfile,
+    route_availability,
+    weather_latency_profile,
+)
+from repro.metrics.cdf import EmpiricalCdf
+from repro.metrics.frequencies import (
+    alternate_path_frequencies_ghz,
+    shortest_path_frequencies_ghz,
+)
+from repro.metrics.link_lengths import near_optimal_link_lengths_km
+from repro.metrics.rankings import (
+    NetworkRanking,
+    rank_connected_networks,
+    top_networks_per_path,
+)
+
+__all__ = [
+    "alternate_path_availability",
+    "WeatherLatencyProfile",
+    "route_availability",
+    "weather_latency_profile",
+    "EmpiricalCdf",
+    "alternate_path_frequencies_ghz",
+    "shortest_path_frequencies_ghz",
+    "near_optimal_link_lengths_km",
+    "NetworkRanking",
+    "rank_connected_networks",
+    "top_networks_per_path",
+]

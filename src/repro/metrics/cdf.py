@@ -1,0 +1,74 @@
+"""Empirical CDF utilities for the Fig 4 distribution plots."""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Iterable, Sequence
+
+
+class EmpiricalCdf:
+    """An empirical cumulative distribution over a finite sample.
+
+    ``F(x)`` is the fraction of samples ≤ x (right-continuous step
+    function).  Quantiles use the inverse-CDF convention: ``quantile(q)``
+    is the smallest sample value v with F(v) ≥ q.
+    """
+
+    def __init__(self, values: Iterable[float]) -> None:
+        self._values = sorted(float(v) for v in values)
+        if not self._values:
+            raise ValueError("empirical CDF needs at least one value")
+        if any(math.isnan(v) for v in self._values):
+            raise ValueError("NaN values are not allowed")
+
+    @property
+    def n(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> list[float]:
+        """The sorted sample."""
+        return list(self._values)
+
+    def __call__(self, x: float) -> float:
+        """F(x): fraction of samples ≤ x."""
+        return bisect.bisect_right(self._values, x) / len(self._values)
+
+    def quantile(self, q: float) -> float:
+        """Smallest sample value v with F(v) ≥ q, for q in (0, 1]."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError("q must be in (0, 1]")
+        index = math.ceil(q * len(self._values)) - 1
+        return self._values[max(0, index)]
+
+    @property
+    def median(self) -> float:
+        """The 0.5 quantile (lower median for even n)."""
+        return self.quantile(0.5)
+
+    def fraction_below(self, threshold: float) -> float:
+        """Fraction of samples strictly below ``threshold``."""
+        return bisect.bisect_left(self._values, threshold) / len(self._values)
+
+    def fraction_at_most(self, threshold: float) -> float:
+        """Fraction of samples ≤ ``threshold`` (alias of calling the CDF)."""
+        return self(threshold)
+
+    def step_points(self) -> list[tuple[float, float]]:
+        """(x, F(x)) pairs at each distinct sample value — plot-ready."""
+        points = []
+        n = len(self._values)
+        previous = None
+        for index, value in enumerate(self._values, start=1):
+            if value != previous:
+                points.append((value, index / n))
+                previous = value
+            else:
+                points[-1] = (value, index / n)
+        return points
+
+
+def cdf_series(values: Sequence[float]) -> list[tuple[float, float]]:
+    """Shorthand: step points of the empirical CDF of ``values``."""
+    return EmpiricalCdf(values).step_points()

@@ -1,0 +1,142 @@
+"""Weather-weighted effective latency (quantifying §5's thesis).
+
+Table 1 ranks networks by fair-weather latency; §5 argues the ranking
+inverts in bad weather.  This module makes that precise with two views:
+
+* **climatic**: each link is up/down independently with its ITU-derived
+  annual availability; the *route availability* is the probability the
+  intact shortest route survives, and redundancy raises the probability
+  that *some* near-optimal route survives;
+* **empirical**: latency across a seeded storm ensemble, summarised as
+  percentiles conditional on connectivity plus an outage fraction — the
+  distribution a trading firm actually experiences over a year.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.network import HftNetwork
+from repro.geodesy import GeoPoint
+from repro.radio.availability import link_availability
+from repro.radio.budget import LinkBudget
+from repro.synth.weather import Storm, random_storm, storm_latency_ms
+
+
+def route_availability(
+    network: HftNetwork,
+    source: str,
+    target: str,
+    budget: LinkBudget | None = None,
+    rain_rate_001_mm_h: float = 42.0,
+) -> float:
+    """Probability the intact lowest-latency route is fully up.
+
+    Links fail independently with their ITU annual unavailability; each
+    link is evaluated at its lowest licensed frequency.  Serial chains
+    multiply availabilities, so long 11/18 GHz chains hurt fast.
+    """
+    route = network.lowest_latency_route(source, target)
+    if route is None:
+        return 0.0
+    budget = budget or LinkBudget()
+    probability = 1.0
+    graph = network.graph
+    for u, v in zip(route.nodes, route.nodes[1:]):
+        data = graph.edges[u, v]
+        if data["medium"] != "microwave":
+            continue
+        frequencies = data["frequencies_mhz"]
+        frequency_ghz = (min(frequencies) / 1000.0) if frequencies else 11.0
+        probability *= link_availability(
+            frequency_ghz, data["length_m"] / 1000.0, budget, rain_rate_001_mm_h
+        )
+    return probability
+
+
+@dataclass(frozen=True)
+class WeatherLatencyProfile:
+    """Latency distribution of one network over a storm ensemble."""
+
+    licensee: str
+    n_storms: int
+    outage_fraction: float
+    fair_weather_ms: float
+    median_ms: float | None
+    p90_ms: float | None
+    worst_ms: float | None
+
+    @property
+    def degradation_p90_us(self) -> float | None:
+        """p90 latency penalty vs fair weather, microseconds."""
+        if self.p90_ms is None:
+            return None
+        return (self.p90_ms - self.fair_weather_ms) * 1e3
+
+
+def weather_latency_profile(
+    network: HftNetwork,
+    source: str,
+    target: str,
+    corridor_endpoints: tuple[GeoPoint, GeoPoint],
+    n_storms: int = 40,
+    seed_base: int = 0,
+    budget: LinkBudget | None = None,
+    peak_mm_h: tuple[float, float] = (60.0, 170.0),
+) -> WeatherLatencyProfile:
+    """Empirical latency profile across a seeded storm ensemble.
+
+    Percentiles are conditional on connectivity; the outage fraction
+    reports how often the network is down entirely.
+    """
+    if n_storms < 1:
+        raise ValueError("need at least one storm")
+    fair = network.lowest_latency_route(source, target)
+    if fair is None:
+        raise ValueError(f"{network.licensee} has no fair-weather route")
+    samples: list[float] = []
+    outages = 0
+    for seed in range(n_storms):
+        storm = random_storm(
+            seed_base + seed, corridor_endpoints, n_cells=4, peak_mm_h=peak_mm_h
+        )
+        latency = storm_latency_ms(network, storm, source, target, budget)
+        if latency is None:
+            outages += 1
+        else:
+            samples.append(latency)
+    samples.sort()
+
+    def percentile(q: float) -> float | None:
+        if not samples:
+            return None
+        index = min(len(samples) - 1, int(q * len(samples)))
+        return samples[index]
+
+    return WeatherLatencyProfile(
+        licensee=network.licensee,
+        n_storms=n_storms,
+        outage_fraction=outages / n_storms,
+        fair_weather_ms=fair.latency_ms,
+        median_ms=percentile(0.5),
+        p90_ms=percentile(0.9),
+        worst_ms=samples[-1] if samples else None,
+    )
+
+
+def storm_winner(
+    profiles: dict[str, "WeatherLatencyProfile"],
+) -> str:
+    """The network a reliability-minded buyer picks: lowest outage
+    fraction, then lowest p90 latency."""
+    if not profiles:
+        raise ValueError("no profiles to compare")
+
+    def key(name: str):
+        profile = profiles[name]
+        return (
+            profile.outage_fraction,
+            profile.p90_ms if profile.p90_ms is not None else float("inf"),
+        )
+
+    return min(profiles, key=key)

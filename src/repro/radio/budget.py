@@ -1,0 +1,86 @@
+"""Link budgets for point-to-point microwave hops.
+
+A link is engineered with a *fade margin*: the received signal level in
+clear air minus the receiver's sensitivity threshold.  Rain (or multipath)
+attenuation eats into the margin; when attenuation exceeds it, the link
+drops.  The §5 reliability analysis turns on exactly this mechanism —
+longer links and higher frequencies have less margin per dB of rain.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def free_space_path_loss_db(frequency_ghz: float, distance_km: float) -> float:
+    """Free-space path loss: ``92.45 + 20·log10(f_GHz) + 20·log10(d_km)``."""
+    if frequency_ghz <= 0.0 or distance_km <= 0.0:
+        raise ValueError("frequency and distance must be positive")
+    return 92.45 + 20.0 * math.log10(frequency_ghz) + 20.0 * math.log10(distance_km)
+
+
+def first_fresnel_radius_m(
+    frequency_ghz: float, d1_km: float, d2_km: float
+) -> float:
+    """Radius of the first Fresnel zone at a point splitting the path
+    into ``d1_km`` and ``d2_km``: ``17.32·sqrt(d1·d2 / (f·(d1+d2)))`` m.
+
+    Towers must clear ~60% of this radius above terrain for line-of-sight
+    performance — the reason HFT towers are tall.
+    """
+    if d1_km < 0.0 or d2_km < 0.0 or d1_km + d2_km == 0.0:
+        raise ValueError("segment lengths must be non-negative and not both zero")
+    if frequency_ghz <= 0.0:
+        raise ValueError("frequency must be positive")
+    return 17.32 * math.sqrt((d1_km * d2_km) / (frequency_ghz * (d1_km + d2_km)))
+
+
+@dataclass(frozen=True, slots=True)
+class LinkBudget:
+    """Clear-air link budget for one microwave hop.
+
+    Default figures are typical of licensed long-haul HFT radios: +30 dBm
+    transmit power, 1.2 m-class high-performance antennas (~43 dBi at
+    11 GHz), ~2 dB of feeder/connector losses per side, and a −72 dBm
+    receiver threshold at the high-capacity modulation these links run.
+    """
+
+    tx_power_dbm: float = 30.0
+    tx_antenna_gain_dbi: float = 43.0
+    rx_antenna_gain_dbi: float = 43.0
+    feeder_losses_db: float = 4.0
+    rx_threshold_dbm: float = -72.0
+
+    def received_level_dbm(self, frequency_ghz: float, distance_km: float) -> float:
+        """Clear-air receive level over a hop."""
+        return (
+            self.tx_power_dbm
+            + self.tx_antenna_gain_dbi
+            + self.rx_antenna_gain_dbi
+            - self.feeder_losses_db
+            - free_space_path_loss_db(frequency_ghz, distance_km)
+        )
+
+    def fade_margin_db(self, frequency_ghz: float, distance_km: float) -> float:
+        """Clear-air margin before the receiver loses the signal.
+
+        May be negative for over-long hops — such a link is not viable.
+        """
+        return self.received_level_dbm(frequency_ghz, distance_km) - self.rx_threshold_dbm
+
+    def max_hop_km(self, frequency_ghz: float, required_margin_db: float = 0.0) -> float:
+        """Longest hop with at least ``required_margin_db`` of margin."""
+        if required_margin_db < 0.0:
+            raise ValueError("required margin cannot be negative")
+        budget = (
+            self.tx_power_dbm
+            + self.tx_antenna_gain_dbi
+            + self.rx_antenna_gain_dbi
+            - self.feeder_losses_db
+            - self.rx_threshold_dbm
+            - required_margin_db
+        )
+        # budget = 92.45 + 20 log f + 20 log d  =>  solve for d.
+        exponent = (budget - 92.45 - 20.0 * math.log10(frequency_ghz)) / 20.0
+        return 10.0**exponent

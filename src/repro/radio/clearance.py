@@ -1,0 +1,169 @@
+"""Line-of-sight clearance: why HFT towers are tall.
+
+A microwave hop needs its beam to clear terrain plus the Earth's bulge by
+~60% of the first Fresnel zone.  Given a terrain model, this module
+computes the antenna heights a hop requires — the physics behind §1's
+"radios mounted on tall towers" and the §6 trade-off that longer links
+need (much) taller, more expensive structures.
+
+Terrain is synthetic (no elevation rasters offline): a seeded sum of
+smooth 2-D sinusoids, statistically similar to the gently rolling
+Midwest/Appalachian corridor profile.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.geodesy import GeoPoint, geodesic_distance, geodesic_interpolate
+from repro.geodesy.earth import EARTH_MEAN_RADIUS_M
+from repro.radio.budget import first_fresnel_radius_m
+
+#: Standard effective-Earth-radius factor (atmospheric refraction bends
+#: the beam; k = 4/3 is the engineering default).
+K_FACTOR = 4.0 / 3.0
+
+#: Required clearance as a fraction of the first Fresnel radius.
+FRESNEL_CLEARANCE = 0.6
+
+
+class SyntheticTerrain:
+    """Smooth, seeded, deterministic terrain elevation (metres AMSL).
+
+    A sum of ``octaves`` 2-D sinusoids with geometrically increasing
+    spatial frequency; ``amplitude_m`` bounds the relief around
+    ``base_m``.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        base_m: float = 220.0,
+        amplitude_m: float = 60.0,
+        octaves: int = 4,
+    ) -> None:
+        if amplitude_m < 0.0:
+            raise ValueError("amplitude cannot be negative")
+        if octaves < 1:
+            raise ValueError("need at least one octave")
+        rng = random.Random(seed)
+        self.base_m = base_m
+        self.amplitude_m = amplitude_m
+        self._waves: list[tuple[float, float, float, float, float]] = []
+        total = 0.0
+        for octave in range(octaves):
+            weight = 0.6**octave
+            # Wavelengths from ~80 km down, in degrees of lat/lon.
+            frequency = (1.0 / 0.7) * (2.1**octave)
+            self._waves.append(
+                (
+                    weight,
+                    frequency * rng.uniform(0.7, 1.3),
+                    frequency * rng.uniform(0.7, 1.3),
+                    rng.uniform(0.0, 2.0 * math.pi),
+                    rng.uniform(0.0, 2.0 * math.pi),
+                )
+            )
+            total += weight
+        self._norm = total
+
+    def elevation_m(self, point: GeoPoint) -> float:
+        value = sum(
+            weight
+            * math.sin(2.0 * math.pi * f_lat * point.latitude + phase_lat)
+            * math.cos(2.0 * math.pi * f_lon * point.longitude + phase_lon)
+            for weight, f_lat, f_lon, phase_lat, phase_lon in self._waves
+        )
+        return self.base_m + self.amplitude_m * value / self._norm
+
+
+def earth_bulge_m(d1_m: float, d2_m: float, k_factor: float = K_FACTOR) -> float:
+    """Height of the effective-Earth bulge between two points,
+    ``d1·d2 / (2·k·Re)`` — 47 m at the middle of a 64 km hop."""
+    if d1_m < 0.0 or d2_m < 0.0:
+        raise ValueError("distances cannot be negative")
+    return (d1_m * d2_m) / (2.0 * k_factor * EARTH_MEAN_RADIUS_M)
+
+
+@dataclass(frozen=True)
+class ClearanceProfile:
+    """Clearance analysis of one hop."""
+
+    distance_km: float
+    required_height_m: float
+    worst_obstacle_fraction: float  # where along the hop the constraint binds
+
+    @property
+    def feasible(self) -> bool:
+        """Practical towers top out around 350 m."""
+        return self.required_height_m <= 350.0
+
+
+def required_antenna_height_m(
+    a: GeoPoint,
+    b: GeoPoint,
+    frequency_ghz: float,
+    terrain: SyntheticTerrain,
+    samples: int = 64,
+) -> ClearanceProfile:
+    """Minimum equal antenna height (above ground) at both ends.
+
+    The beam from (terrain_a + h) to (terrain_b + h) must clear, at every
+    sample, terrain + Earth bulge + 0.6·F1.  Since the line height at
+    fraction t is ``lerp(e_a, e_b, t) + h``, the binding constraint gives
+    h in closed form as the maximum deficit.
+    """
+    if samples < 3:
+        raise ValueError("need at least three profile samples")
+    distance = geodesic_distance(a, b)
+    e_a = terrain.elevation_m(a)
+    e_b = terrain.elevation_m(b)
+    fractions = [i / (samples - 1) for i in range(samples)]
+    points = geodesic_interpolate(a, b, fractions)
+    worst_deficit = 0.0
+    worst_fraction = 0.5
+    for t, point in zip(fractions[1:-1], points[1:-1]):
+        d1 = t * distance
+        d2 = distance - d1
+        needed = (
+            terrain.elevation_m(point)
+            + earth_bulge_m(d1, d2)
+            + FRESNEL_CLEARANCE
+            * first_fresnel_radius_m(frequency_ghz, d1 / 1000.0, d2 / 1000.0)
+        )
+        line = e_a + (e_b - e_a) * t
+        deficit = needed - line
+        if deficit > worst_deficit:
+            worst_deficit = deficit
+            worst_fraction = t
+    return ClearanceProfile(
+        distance_km=distance / 1000.0,
+        required_height_m=max(0.0, worst_deficit),
+        worst_obstacle_fraction=worst_fraction,
+    )
+
+
+def height_vs_hop_length(
+    start: GeoPoint,
+    azimuth_deg: float,
+    hops_km: list[float],
+    frequency_ghz: float = 11.0,
+    terrain: SyntheticTerrain | None = None,
+) -> list[ClearanceProfile]:
+    """Required heights for increasing hop lengths from one site.
+
+    Quantifies the §6 trade-off: tower height (≈ cost) grows roughly
+    quadratically with hop length through the bulge term.
+    """
+    terrain = terrain or SyntheticTerrain()
+    profiles = []
+    for hop_km in hops_km:
+        if hop_km <= 0.0:
+            raise ValueError("hop length must be positive")
+        end = start.destination(azimuth_deg, hop_km * 1000.0)
+        profiles.append(
+            required_antenna_height_m(start, end, frequency_ghz, terrain)
+        )
+    return profiles

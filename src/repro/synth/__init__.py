@@ -1,0 +1,48 @@
+"""Synthetic FCC license data for the Chicago–NJ corridor.
+
+The paper works from real FCC ULS filings; this environment has no network
+access, so this subpackage generates a *calibrated* synthetic equivalent:
+license histories for every network the paper analyses, with tower
+geometry tuned (by bisection against the real reconstruction pipeline)
+until the reconstructed latencies, tower counts, APA values, link-length
+distributions and frequency mixes match the published numbers.
+
+The reconstruction/analysis code never sees the calibration targets — it
+measures everything back out of the raw license records.
+
+Entry point: :func:`repro.synth.scenario.paper2020_scenario`.
+"""
+
+from repro.synth.noise import SmoothNoise
+from repro.synth.towers import (
+    bypass_point,
+    chain_points,
+    spacing_fractions,
+)
+from repro.synth.specs import (
+    BranchSpec,
+    EraSpec,
+    FrequencyProfile,
+    NetworkSpec,
+)
+from repro.synth.generator import NetworkBuilder, build_network_licenses
+from repro.synth.scenario import Scenario, paper2020_scenario
+from repro.synth.weather import RainCell, Storm, apply_storm
+
+__all__ = [
+    "SmoothNoise",
+    "bypass_point",
+    "chain_points",
+    "spacing_fractions",
+    "BranchSpec",
+    "EraSpec",
+    "FrequencyProfile",
+    "NetworkSpec",
+    "NetworkBuilder",
+    "build_network_licenses",
+    "Scenario",
+    "paper2020_scenario",
+    "RainCell",
+    "Storm",
+    "apply_storm",
+]

@@ -1,0 +1,55 @@
+"""Deterministic smooth 1-D noise for tower placement.
+
+Tower sites stray from the corridor geodesic in a spatially *smooth* way —
+a network acquires whatever towers exist near the line, and consecutive
+towers tend to deviate to the same side.  We model the lateral offset as a
+seeded sum of a few sinusoids with random phases: smooth, zero-mean,
+bounded, and fully deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+
+class SmoothNoise:
+    """A smooth pseudo-random function [0, 1] → [-1, 1].
+
+    Built from ``octaves`` sinusoids with seeded phases and geometrically
+    decreasing amplitudes, normalised so the theoretical peak magnitude is
+    1.  The function (and hence any tower layout derived from it) is a pure
+    function of the seed.
+    """
+
+    def __init__(self, seed: int, octaves: int = 4, base_cycles: float = 1.5) -> None:
+        if octaves < 1:
+            raise ValueError("need at least one octave")
+        rng = random.Random(seed)
+        self._components: list[tuple[float, float, float]] = []
+        total_amplitude = 0.0
+        for octave in range(octaves):
+            amplitude = 0.55**octave
+            cycles = base_cycles * (1.9**octave)
+            phase = rng.uniform(0.0, 2.0 * math.pi)
+            self._components.append((amplitude, cycles, phase))
+            total_amplitude += amplitude
+        self._norm = total_amplitude
+
+    def __call__(self, t: float) -> float:
+        value = sum(
+            amplitude * math.sin(2.0 * math.pi * cycles * t + phase)
+            for amplitude, cycles, phase in self._components
+        )
+        return value / self._norm
+
+    def tapered(self, t: float) -> float:
+        """The noise forced smoothly to zero at both ends of [0, 1].
+
+        Used for lateral tower offsets: gateway towers must sit on the
+        geodesic next to their data centers, so the deviation envelope is
+        ``sin(πt)``-shaped.
+        """
+        if not 0.0 <= t <= 1.0:
+            raise ValueError("t must be within [0, 1]")
+        return self(t) * math.sin(math.pi * t)

@@ -1,0 +1,172 @@
+"""A ULS web-portal simulator.
+
+The paper's data pipeline scrapes HTML pages served by the FCC's Universal
+Licensing System.  With no network access we cannot hit the real portal, so
+this module renders equivalent pages — search result tables and license
+detail pages — from a :class:`~repro.uls.database.UlsDatabase`.  The
+scraper (:mod:`repro.uls.scraper`) then parses these pages exactly as it
+would parse the real ones; only the HTTP transport is missing.
+
+Pages are deliberately messy in the ways real portal pages are: values are
+wrapped in presentational markup, dates use US formatting, and coordinates
+are rendered as DMS strings.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from html import escape
+
+from repro.geodesy import GeoPoint
+from repro.geodesy.coordinates import format_dms
+from repro.uls.database import UlsDatabase
+from repro.uls.records import License, format_date
+from repro.uls.search import UlsSearchService
+
+
+class PageNotFoundError(KeyError):
+    """Raised when a requested page does not exist (HTTP 404 analogue)."""
+
+
+def _results_table(rows: list[tuple[str, ...]], header: tuple[str, ...]) -> str:
+    parts = ['<table class="results">', "<tr>"]
+    parts.extend(f"<th>{escape(col)}</th>" for col in header)
+    parts.append("</tr>")
+    for row in rows:
+        parts.append("<tr>")
+        parts.extend(f"<td>{escape(cell)}</td>" for cell in row)
+        parts.append("</tr>")
+    parts.append("</table>")
+    return "".join(parts)
+
+
+class UlsPortal:
+    """Renders ULS-style HTML pages over an in-memory license database."""
+
+    def __init__(self, database: UlsDatabase) -> None:
+        self._db = database
+        self._search = UlsSearchService(database)
+        self.page_requests = 0
+
+    @property
+    def database(self) -> UlsDatabase:
+        return self._db
+
+    # ------------------------------------------------------------------
+    # Search pages
+    # ------------------------------------------------------------------
+
+    def geographic_search_page(
+        self,
+        latitude: float,
+        longitude: float,
+        radius_km: float,
+        active_on: dt.date | None = None,
+    ) -> str:
+        """The searchGeographic.jsp results page."""
+        self.page_requests += 1
+        center = GeoPoint(latitude, longitude)
+        rows = self._search.geographic_search(center, radius_km * 1000.0, active_on)
+        table = _results_table(
+            [
+                (
+                    row.callsign,
+                    row.license_id,
+                    row.licensee_name,
+                    row.radio_service_code,
+                    row.station_class,
+                )
+                for row in rows
+            ],
+            ("Call Sign", "License ID", "Licensee", "Radio Service", "Station Class"),
+        )
+        return (
+            "<html><head><title>ULS Geographic Search Results</title></head>"
+            f"<body><h1>Geographic Search</h1>"
+            f"<p>Center: {latitude:.6f}, {longitude:.6f}; radius {radius_km:g} km; "
+            f"{len(rows)} matches</p>{table}</body></html>"
+        )
+
+    def name_search_page(self, licensee_name: str) -> str:
+        """The licensee-name search results page."""
+        self.page_requests += 1
+        rows = self._search.name_search(licensee_name)
+        table = _results_table(
+            [(row.callsign, row.license_id, row.licensee_name) for row in rows],
+            ("Call Sign", "License ID", "Licensee"),
+        )
+        return (
+            "<html><head><title>ULS License Search</title></head>"
+            f"<body><h1>Licenses for {escape(licensee_name)}</h1>{table}</body></html>"
+        )
+
+    # ------------------------------------------------------------------
+    # License detail page
+    # ------------------------------------------------------------------
+
+    def license_detail_page(self, license_id: str) -> str:
+        """The license-detail page with dates, locations, paths, frequencies."""
+        self.page_requests += 1
+        try:
+            lic = self._db.get(license_id)
+        except KeyError:
+            raise PageNotFoundError(license_id) from None
+        return self._render_detail(lic)
+
+    def _render_detail(self, lic: License) -> str:
+        dates_table = _results_table(
+            [
+                ("Grant", format_date(lic.grant_date, "us") or "—"),
+                ("Expiration", format_date(lic.expiration_date, "us") or "—"),
+                ("Cancellation", format_date(lic.cancellation_date, "us") or "—"),
+                ("Termination", format_date(lic.termination_date, "us") or "—"),
+            ],
+            ("Event", "Date"),
+        ).replace('class="results"', 'class="results" id="dates"', 1)
+
+        location_rows = []
+        for number in sorted(lic.locations):
+            loc = lic.locations[number]
+            location_rows.append(
+                (
+                    str(number),
+                    format_dms(loc.point.latitude, "lat", seconds_decimals=4),
+                    format_dms(loc.point.longitude, "lon", seconds_decimals=4),
+                    f"{loc.ground_elevation_m:.1f}",
+                    f"{loc.structure_height_m:.1f}",
+                    loc.site_name or "—",
+                )
+            )
+        locations_table = _results_table(
+            location_rows,
+            ("Loc", "Latitude", "Longitude", "Ground Elev (m)", "Height (m)", "Site"),
+        ).replace('class="results"', 'class="results" id="locations"', 1)
+
+        path_rows = []
+        for path in lic.paths:
+            freq_text = ", ".join(f"{freq:.1f}" for freq in path.frequencies_mhz)
+            path_rows.append(
+                (
+                    str(path.path_number),
+                    str(path.tx_location_number),
+                    str(path.rx_location_number),
+                    freq_text or "—",
+                )
+            )
+        paths_table = _results_table(
+            path_rows, ("Path", "TX Loc", "RX Loc", "Frequencies (MHz)")
+        ).replace('class="results"', 'class="results" id="paths"', 1)
+
+        return (
+            "<html><head><title>ULS License Detail</title></head><body>"
+            f"<h1>License {escape(lic.callsign)} — {escape(lic.licensee_name)}</h1>"
+            f'<p id="meta">License ID: <b>{escape(lic.license_id)}</b> | '
+            f"Radio Service: <b>{escape(lic.radio_service_code)}</b> | "
+            f"Station Class: <b>{escape(lic.station_class)}</b></p>"
+            f'<p id="contact">Contact E-Mail: '
+            f"<b>{escape(lic.contact_email) or '—'}</b></p>"
+            f"<h2>Dates</h2>{dates_table}"
+            f"<h2>Locations</h2>{locations_table}"
+            f"<h2>Paths</h2>{paths_table}"
+            "</body></html>"
+        )

@@ -1,0 +1,284 @@
+"""Scraping client for ULS portal pages.
+
+This is the data-collection half of the paper's tool (§2.2).  It drives
+the portal's search pages, parses the HTML with the standard library's
+:class:`html.parser.HTMLParser`, and rebuilds :class:`License` records.
+
+The scraper is written against page *structure* (table ids and column
+order), not against our renderer's internals, so it would work unchanged on
+any server producing the same page layout.  A per-license cache avoids
+refetching detail pages, mirroring the original tool's on-disk cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from html.parser import HTMLParser
+
+from repro.geodesy import GeoPoint
+from repro.geodesy.coordinates import parse_dms
+from repro.uls.portal import UlsPortal
+from repro.uls.records import (
+    License,
+    MicrowavePath,
+    TowerLocation,
+    parse_date,
+)
+
+
+class ScrapeError(ValueError):
+    """Raised when a page cannot be parsed into the expected structure."""
+
+
+class _TableExtractor(HTMLParser):
+    """Collects every ``<table class="results">`` as a list of text rows.
+
+    Tables are keyed by their ``id`` attribute ("" when absent); each table
+    is a list of rows, each row a list of cell strings (header row
+    included).
+    """
+
+    def __init__(self) -> None:
+        super().__init__(convert_charrefs=True)
+        self.tables: dict[str, list[list[str]]] = {}
+        self._table_order: list[str] = []
+        self._current_id: str | None = None
+        self._current_rows: list[list[str]] | None = None
+        self._current_row: list[str] | None = None
+        self._cell_parts: list[str] | None = None
+
+    def handle_starttag(self, tag: str, attrs: list[tuple[str, str | None]]) -> None:
+        attributes = dict(attrs)
+        if tag == "table" and "results" in (attributes.get("class") or ""):
+            self._current_id = attributes.get("id") or f"table{len(self._table_order)}"
+            self._current_rows = []
+        elif tag == "tr" and self._current_rows is not None:
+            self._current_row = []
+        elif tag in ("td", "th") and self._current_row is not None:
+            self._cell_parts = []
+
+    def handle_endtag(self, tag: str) -> None:
+        if tag in ("td", "th") and self._cell_parts is not None:
+            assert self._current_row is not None
+            self._current_row.append("".join(self._cell_parts).strip())
+            self._cell_parts = None
+        elif tag == "tr" and self._current_row is not None:
+            assert self._current_rows is not None
+            self._current_rows.append(self._current_row)
+            self._current_row = None
+        elif tag == "table" and self._current_rows is not None:
+            assert self._current_id is not None
+            self.tables[self._current_id] = self._current_rows
+            self._table_order.append(self._current_id)
+            self._current_rows = None
+            self._current_id = None
+
+    def handle_data(self, data: str) -> None:
+        if self._cell_parts is not None:
+            self._cell_parts.append(data)
+
+    def first_table(self) -> list[list[str]]:
+        if not self._table_order:
+            raise ScrapeError("page contains no results table")
+        return self.tables[self._table_order[0]]
+
+
+class _MetaExtractor(HTMLParser):
+    """Extracts the license id / service / class line and the page h1."""
+
+    def __init__(self) -> None:
+        super().__init__(convert_charrefs=True)
+        self._in_meta = False
+        self._in_contact = False
+        self._in_h1 = False
+        self.meta_text = ""
+        self.contact_text = ""
+        self.heading = ""
+
+    def handle_starttag(self, tag: str, attrs: list[tuple[str, str | None]]) -> None:
+        attributes = dict(attrs)
+        if tag == "p" and attributes.get("id") == "meta":
+            self._in_meta = True
+        elif tag == "p" and attributes.get("id") == "contact":
+            self._in_contact = True
+        elif tag == "h1":
+            self._in_h1 = True
+
+    def handle_endtag(self, tag: str) -> None:
+        if tag == "p":
+            self._in_meta = False
+            self._in_contact = False
+        elif tag == "h1":
+            self._in_h1 = False
+
+    def handle_data(self, data: str) -> None:
+        if self._in_meta:
+            self.meta_text += data
+        if self._in_contact:
+            self.contact_text += data
+        if self._in_h1:
+            self.heading += data
+
+
+def _parse_table_page(html: str) -> list[list[str]]:
+    extractor = _TableExtractor()
+    extractor.feed(html)
+    return extractor.first_table()
+
+
+@dataclass
+class ScrapeStats:
+    """Bookkeeping for a scraping session."""
+
+    search_pages: int = 0
+    detail_pages: int = 0
+    cache_hits: int = 0
+
+
+class UlsScraper:
+    """Replays the paper's scraping pipeline against a portal."""
+
+    def __init__(self, portal: UlsPortal) -> None:
+        self._portal = portal
+        self._detail_cache: dict[str, License] = {}
+        self.stats = ScrapeStats()
+
+    # ------------------------------------------------------------------
+    # Search pages
+    # ------------------------------------------------------------------
+
+    def geographic_search(
+        self, latitude: float, longitude: float, radius_km: float
+    ) -> list[dict[str, str]]:
+        """Scrape the geographic results: one dict per row."""
+        html = self._portal.geographic_search_page(latitude, longitude, radius_km)
+        self.stats.search_pages += 1
+        table = _parse_table_page(html)
+        header, rows = table[0], table[1:]
+        expected = ["Call Sign", "License ID", "Licensee", "Radio Service", "Station Class"]
+        if header != expected:
+            raise ScrapeError(f"unexpected geographic results header: {header!r}")
+        return [
+            {
+                "callsign": row[0],
+                "license_id": row[1],
+                "licensee_name": row[2],
+                "radio_service_code": row[3],
+                "station_class": row[4],
+            }
+            for row in rows
+        ]
+
+    def licenses_of(self, licensee_name: str) -> list[str]:
+        """License ids filed by a licensee (name-search page)."""
+        html = self._portal.name_search_page(licensee_name)
+        self.stats.search_pages += 1
+        table = _parse_table_page(html)
+        return [row[1] for row in table[1:]]
+
+    # ------------------------------------------------------------------
+    # Detail pages
+    # ------------------------------------------------------------------
+
+    def license_detail(self, license_id: str) -> License:
+        """Scrape (or serve from cache) one license-detail page."""
+        if license_id in self._detail_cache:
+            self.stats.cache_hits += 1
+            return self._detail_cache[license_id]
+        html = self._portal.license_detail_page(license_id)
+        self.stats.detail_pages += 1
+        lic = self._parse_detail(html)
+        if lic.license_id != license_id:
+            raise ScrapeError(
+                f"requested {license_id!r} but page is for {lic.license_id!r}"
+            )
+        self._detail_cache[license_id] = lic
+        return lic
+
+    def scrape_licensee(self, licensee_name: str) -> list[License]:
+        """All filings of one licensee, via name search + detail pages."""
+        return [self.license_detail(lid) for lid in self.licenses_of(licensee_name)]
+
+    # ------------------------------------------------------------------
+    # Detail page parsing
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _parse_detail(html: str) -> License:
+        tables = _TableExtractor()
+        tables.feed(html)
+        meta = _MetaExtractor()
+        meta.feed(html)
+
+        for required in ("dates", "locations", "paths"):
+            if required not in tables.tables:
+                raise ScrapeError(f"detail page missing {required!r} table")
+
+        meta_fields: dict[str, str] = {}
+        for chunk in meta.meta_text.split("|"):
+            if ":" in chunk:
+                key, _, value = chunk.partition(":")
+                meta_fields[key.strip()] = value.strip()
+        license_id = meta_fields.get("License ID", "")
+        if not license_id:
+            raise ScrapeError("detail page has no license id")
+
+        contact_email = ""
+        if ":" in meta.contact_text:
+            value = meta.contact_text.partition(":")[2].strip()
+            contact_email = "" if value == "—" else value
+
+        heading = meta.heading
+        if "—" in heading:
+            callsign_part, _, licensee_name = heading.partition("—")
+            callsign = callsign_part.replace("License", "").strip()
+            licensee_name = licensee_name.strip()
+        else:
+            raise ScrapeError(f"unparseable detail heading: {heading!r}")
+
+        dates: dict[str, str] = {}
+        for row in tables.tables["dates"][1:]:
+            dates[row[0]] = "" if row[1] == "—" else row[1]
+
+        locations: dict[int, TowerLocation] = {}
+        for row in tables.tables["locations"][1:]:
+            number = int(row[0])
+            locations[number] = TowerLocation(
+                location_number=number,
+                point=GeoPoint(parse_dms(row[1]), parse_dms(row[2])),
+                ground_elevation_m=float(row[3]),
+                structure_height_m=float(row[4]),
+                site_name="" if row[5] == "—" else row[5],
+            )
+
+        paths: list[MicrowavePath] = []
+        for row in tables.tables["paths"][1:]:
+            freq_text = row[3]
+            frequencies = (
+                ()
+                if freq_text == "—"
+                else tuple(float(part) for part in freq_text.split(","))
+            )
+            paths.append(
+                MicrowavePath(
+                    path_number=int(row[0]),
+                    tx_location_number=int(row[1]),
+                    rx_location_number=int(row[2]),
+                    frequencies_mhz=frequencies,
+                )
+            )
+
+        return License(
+            license_id=license_id,
+            callsign=callsign,
+            licensee_name=licensee_name,
+            contact_email=contact_email,
+            radio_service_code=meta_fields.get("Radio Service", ""),
+            station_class=meta_fields.get("Station Class", ""),
+            grant_date=parse_date(dates.get("Grant")),
+            expiration_date=parse_date(dates.get("Expiration")),
+            cancellation_date=parse_date(dates.get("Cancellation")),
+            termination_date=parse_date(dates.get("Termination")),
+            locations=locations,
+            paths=paths,
+        )

@@ -1,0 +1,137 @@
+"""The four ULS search interfaces the paper's methodology uses (§2.1).
+
+* *Geographic* search: licenses within a radius of a location.
+* *Site-based* search: filter by radio service code and station class.
+* *Name* search: licenses filed by a given licensee.
+* *License detail*: full record for one license id.
+
+These mirror the FCC portal's semantics so the paper's scraping funnel
+(geographic search around CME → MG/FXO filter → per-licensee license lists
+→ per-license details) can be replayed verbatim.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass
+
+from repro.constants import (
+    CME_SEARCH_RADIUS_M,
+    RADIO_SERVICE_MG,
+    STATION_CLASS_FXO,
+)
+from repro.geodesy import GeoPoint
+from repro.uls.database import UlsDatabase
+from repro.uls.records import License
+
+
+@dataclass(frozen=True, slots=True)
+class SearchResult:
+    """One row of a portal search-results page."""
+
+    license_id: str
+    callsign: str
+    licensee_name: str
+    radio_service_code: str
+    station_class: str
+
+
+def _row(lic: License) -> SearchResult:
+    return SearchResult(
+        license_id=lic.license_id,
+        callsign=lic.callsign,
+        licensee_name=lic.licensee_name,
+        radio_service_code=lic.radio_service_code,
+        station_class=lic.station_class,
+    )
+
+
+class UlsSearchService:
+    """Query layer over a :class:`UlsDatabase`, one method per portal page."""
+
+    def __init__(self, database: UlsDatabase) -> None:
+        self._db = database
+
+    @property
+    def database(self) -> UlsDatabase:
+        return self._db
+
+    # ------------------------------------------------------------------
+    # Portal-equivalent searches
+    # ------------------------------------------------------------------
+
+    def geographic_search(
+        self,
+        center: GeoPoint,
+        radius_m: float = CME_SEARCH_RADIUS_M,
+        active_on: dt.date | None = None,
+    ) -> list[SearchResult]:
+        """Licenses with an endpoint within ``radius_m`` of ``center``.
+
+        ``active_on`` optionally restricts to licenses active on that date
+        (the portal's "active licenses" checkbox).
+        """
+        rows = []
+        for lic in self._db.licenses_within(center, radius_m):
+            if active_on is not None and not lic.is_active(active_on):
+                continue
+            rows.append(_row(lic))
+        return rows
+
+    def site_search(
+        self,
+        radio_service_code: str = RADIO_SERVICE_MG,
+        station_class: str = STATION_CLASS_FXO,
+        within: list[SearchResult] | None = None,
+    ) -> list[SearchResult]:
+        """Filter by service code and station class.
+
+        When ``within`` is given, filters those rows (the paper applies the
+        site-based criteria to the geographic results); otherwise searches
+        the whole database.
+        """
+        if within is not None:
+            return [
+                row
+                for row in within
+                if row.radio_service_code == radio_service_code
+                and row.station_class == station_class
+            ]
+        return [
+            _row(lic)
+            for lic in self._db
+            if lic.radio_service_code == radio_service_code
+            and lic.station_class == station_class
+        ]
+
+    def name_search(self, licensee_name: str) -> list[SearchResult]:
+        """All filings by an exact licensee name."""
+        return [_row(lic) for lic in self._db.licenses_for(licensee_name)]
+
+    def license_detail(self, license_id: str) -> License:
+        """The full license record (the portal's license-detail page)."""
+        return self._db.get(license_id)
+
+    # ------------------------------------------------------------------
+    # Convenience aggregations used by the analysis funnel
+    # ------------------------------------------------------------------
+
+    def candidate_licensees(
+        self,
+        center: GeoPoint,
+        radius_m: float = CME_SEARCH_RADIUS_M,
+        radio_service_code: str = RADIO_SERVICE_MG,
+        station_class: str = STATION_CLASS_FXO,
+    ) -> list[str]:
+        """Licensee names uncovered by the paper's geographic+site query.
+
+        This is the "57 candidate licensees" step of §2.2.
+        """
+        geo_rows = self.geographic_search(center, radius_m)
+        site_rows = self.site_search(radio_service_code, station_class, within=geo_rows)
+        names = sorted({row.licensee_name for row in site_rows})
+        return names
+
+    def filing_counts(self, licensee_names: list[str]) -> dict[str, int]:
+        """Number of filings per licensee (shortlisting input, §2.2)."""
+        return {name: len(self._db.licenses_for(name)) for name in licensee_names}

@@ -1,0 +1,197 @@
+"""Incremental ULS updates: transaction logs between snapshots.
+
+The FCC publishes full weekly dumps *and* daily/weekly transaction files;
+a production pipeline ingests the full dump once and then applies
+transactions.  This module provides that layer:
+
+* derive the transaction log a period's filings imply (grants,
+  cancellations, terminations with their effective dates);
+* apply a log to a database, mutating license state exactly as the
+  source records would;
+* serialise logs in a pipe-delimited format compatible with
+  :mod:`repro.uls.dumpio` (grant transactions embed the full license
+  record group).
+
+The invariant — *snapshot(t0) + transactions(t0, t1) ≡ snapshot(t1)* — is
+what the tests pin down.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import io
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from repro.uls.database import UlsDatabase
+from repro.uls.dumpio import DumpFormatError, read_uls_dump, write_license
+from repro.uls.records import License
+
+#: Transaction actions, in the order they apply within one day.
+ACTIONS = ("grant", "cancel", "terminate")
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """One license life-cycle event."""
+
+    date: dt.date
+    action: str
+    license_id: str
+    license: License | None = None  # full record, for grants
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ValueError(f"unknown action {self.action!r}")
+        if self.action == "grant" and self.license is None:
+            raise ValueError("grant transactions must carry the license record")
+        if self.action != "grant" and self.license is not None:
+            raise ValueError("only grant transactions carry license records")
+
+
+def transactions_between(
+    database: UlsDatabase, start: dt.date, end: dt.date
+) -> list[Transaction]:
+    """The transaction log for the half-open window (start, end].
+
+    Events are ordered by (date, action, license id) — deterministic and
+    replayable.
+    """
+    if end <= start:
+        raise ValueError("window must have positive length")
+    log: list[Transaction] = []
+    for lic in database:
+        if lic.grant_date is not None and start < lic.grant_date <= end:
+            log.append(
+                Transaction(lic.grant_date, "grant", lic.license_id, license=lic)
+            )
+        if lic.cancellation_date is not None and start < lic.cancellation_date <= end:
+            log.append(Transaction(lic.cancellation_date, "cancel", lic.license_id))
+        if lic.termination_date is not None and start < lic.termination_date <= end:
+            log.append(Transaction(lic.termination_date, "terminate", lic.license_id))
+    log.sort(key=lambda tx: (tx.date, ACTIONS.index(tx.action), tx.license_id))
+    return log
+
+
+def snapshot_database(database: UlsDatabase, on_date: dt.date) -> UlsDatabase:
+    """Licenses already *filed* by ``on_date`` (granted on or before it),
+    with cancellation/termination dates that lie in the future removed —
+    i.e. what a dump published on ``on_date`` would have contained."""
+    snapshot = UlsDatabase()
+    for lic in database:
+        if lic.grant_date is None or lic.grant_date > on_date:
+            continue
+        copy = License(
+            license_id=lic.license_id,
+            callsign=lic.callsign,
+            licensee_name=lic.licensee_name,
+            contact_email=lic.contact_email,
+            radio_service_code=lic.radio_service_code,
+            station_class=lic.station_class,
+            grant_date=lic.grant_date,
+            expiration_date=lic.expiration_date,
+            cancellation_date=(
+                lic.cancellation_date
+                if lic.cancellation_date is not None
+                and lic.cancellation_date <= on_date
+                else None
+            ),
+            termination_date=(
+                lic.termination_date
+                if lic.termination_date is not None
+                and lic.termination_date <= on_date
+                else None
+            ),
+            locations=dict(lic.locations),
+            paths=list(lic.paths),
+        )
+        snapshot.add(copy)
+    return snapshot
+
+
+def apply_transactions(
+    database: UlsDatabase, transactions: Iterable[Transaction]
+) -> UlsDatabase:
+    """Apply a log to ``database`` in place (returned for chaining).
+
+    Grants add the license (idempotently skipped when already present);
+    cancels/terminates stamp the effective date on the stored record.
+    Unknown license ids in cancel/terminate raise — a corrupt log should
+    never be half-applied silently.
+    """
+    for tx in transactions:
+        if tx.action == "grant":
+            if tx.license_id not in database:
+                assert tx.license is not None
+                database.add(tx.license)
+        elif tx.action == "cancel":
+            database.get(tx.license_id).cancellation_date = tx.date
+        else:
+            database.get(tx.license_id).termination_date = tx.date
+    return database
+
+
+# ----------------------------------------------------------------------
+# Serialisation
+# ----------------------------------------------------------------------
+
+def write_transaction_log(
+    transactions: Iterable[Transaction], destination: str | Path | TextIO
+) -> None:
+    """Write a log: one ``TX`` line per event; grants are followed by the
+    license's dump record group."""
+    def _write(out: TextIO) -> None:
+        for tx in transactions:
+            out.write(f"TX|{tx.date.isoformat()}|{tx.action}|{tx.license_id}\n")
+            if tx.license is not None:
+                write_license(tx.license, out)
+
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", encoding="utf-8") as handle:
+            _write(handle)
+    else:
+        _write(destination)
+
+
+def read_transaction_log(source: str | Path | TextIO) -> list[Transaction]:
+    """Parse a transaction log written by :func:`write_transaction_log`."""
+    if isinstance(source, (str, Path)):
+        text = Path(source).read_text(encoding="utf-8")
+    else:
+        text = source.read()
+
+    transactions: list[Transaction] = []
+    pending: tuple[dt.date, str, str] | None = None
+    buffer: list[str] = []
+
+    def flush() -> None:
+        nonlocal pending, buffer
+        if pending is None:
+            return
+        date, action, license_id = pending
+        license_record = None
+        if buffer:
+            (license_record,) = read_uls_dump(io.StringIO("".join(buffer)))
+            if license_record.license_id != license_id:
+                raise DumpFormatError(
+                    f"transaction {license_id!r} embeds record for "
+                    f"{license_record.license_id!r}"
+                )
+        transactions.append(Transaction(date, action, license_id, license_record))
+        pending = None
+        buffer = []
+
+    for line in text.splitlines(keepends=True):
+        if line.startswith("TX|"):
+            flush()
+            fields = line.rstrip("\n").split("|")
+            if len(fields) != 4:
+                raise DumpFormatError("TX needs 4 fields")
+            pending = (dt.date.fromisoformat(fields[1]), fields[2], fields[3])
+        elif line.strip():
+            if pending is None:
+                raise DumpFormatError("dump records outside a transaction")
+            buffer.append(line)
+    flush()
+    return transactions

@@ -1,0 +1,144 @@
+"""Data-quality validation for license records.
+
+Real ULS data is messy; a reconstruction pipeline needs a scrubbing pass
+before geometry.  Checks cover the failure modes that would corrupt the
+paper's analyses: impossible link geometry (a conventional microwave hop
+beyond ~150 km cannot close a link budget), degenerate zero-length paths,
+incoherent life-cycle dates, and frequencies outside the licensed
+point-to-point bands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.uls.records import License
+
+#: Longest plausible conventional-microwave hop, km (beyond this the
+#: Earth bulge and free-space loss make the filing suspect).
+MAX_PLAUSIBLE_HOP_KM = 150.0
+
+#: Shortest plausible hop, metres (below this the two "towers" are the
+#: same structure filed twice).
+MIN_PLAUSIBLE_HOP_M = 100.0
+
+#: Licensed point-to-point bands: anything outside is suspect for this
+#: service, MHz.
+FREQUENCY_RANGE_MHZ = (3_000.0, 40_000.0)
+
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One data-quality finding."""
+
+    severity: str
+    code: str
+    license_id: str
+    message: str
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+
+def validate_license(lic: License) -> list[ValidationIssue]:
+    """All issues found on one license."""
+    issues: list[ValidationIssue] = []
+
+    def add(severity: str, code: str, message: str) -> None:
+        issues.append(ValidationIssue(severity, code, lic.license_id, message))
+
+    # Life-cycle coherence.
+    if lic.grant_date is not None:
+        for label, date in (
+            ("cancellation", lic.cancellation_date),
+            ("termination", lic.termination_date),
+            ("expiration", lic.expiration_date),
+        ):
+            if date is not None and date < lic.grant_date:
+                add("error", "date-order", f"{label} date precedes grant date")
+    elif lic.cancellation_date is not None or lic.termination_date is not None:
+        add("warning", "dates-without-grant", "ended but never granted")
+
+    # Geometry.
+    for path in lic.paths:
+        length_m = lic.path_length_m(path)
+        if length_m > MAX_PLAUSIBLE_HOP_KM * 1000.0:
+            add(
+                "error",
+                "hop-too-long",
+                f"path {path.path_number} spans {length_m / 1000.0:.1f} km",
+            )
+        elif length_m < MIN_PLAUSIBLE_HOP_M:
+            add(
+                "warning",
+                "hop-degenerate",
+                f"path {path.path_number} spans only {length_m:.0f} m",
+            )
+
+        # Frequencies.
+        seen: set[float] = set()
+        for frequency in path.frequencies_mhz:
+            if not FREQUENCY_RANGE_MHZ[0] <= frequency <= FREQUENCY_RANGE_MHZ[1]:
+                add(
+                    "error",
+                    "frequency-out-of-band",
+                    f"path {path.path_number}: {frequency:.1f} MHz outside "
+                    "licensed point-to-point range",
+                )
+            if frequency in seen:
+                add(
+                    "warning",
+                    "frequency-duplicate",
+                    f"path {path.path_number}: {frequency:.1f} MHz listed twice",
+                )
+            seen.add(frequency)
+        if not path.frequencies_mhz:
+            add("warning", "frequency-missing", f"path {path.path_number} has none")
+
+    # Orphan locations (filed but not used by any path).
+    used = {
+        number
+        for path in lic.paths
+        for number in (path.tx_location_number, path.rx_location_number)
+    }
+    orphans = sorted(set(lic.locations) - used)
+    if orphans and lic.paths:
+        add("warning", "location-orphan", f"unused locations {orphans}")
+
+    return issues
+
+
+def validate_licenses(licenses: Iterable[License]) -> list[ValidationIssue]:
+    """All issues across a collection, in input order."""
+    issues: list[ValidationIssue] = []
+    for lic in licenses:
+        issues.extend(validate_license(lic))
+    return issues
+
+
+def partition_by_severity(
+    issues: Iterable[ValidationIssue],
+) -> tuple[list[ValidationIssue], list[ValidationIssue]]:
+    """(errors, warnings)."""
+    errors = [issue for issue in issues if issue.severity == "error"]
+    warnings = [issue for issue in issues if issue.severity == "warning"]
+    return errors, warnings
+
+
+def clean_licenses(licenses: Iterable[License]) -> list[License]:
+    """The subset of licenses with no *errors* (warnings pass).
+
+    The reconstruction pipeline runs on the cleaned set; dropping a
+    corrupt filing is safer than letting a 2,000 km "link" distort a
+    latency estimate.
+    """
+    kept = []
+    for lic in licenses:
+        errors, _ = partition_by_severity(validate_license(lic))
+        if not errors:
+            kept.append(lic)
+    return kept

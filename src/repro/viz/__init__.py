@@ -1,0 +1,21 @@
+"""Visualisation and figure-data export.
+
+The original tool visualised reconstructed networks with the Google Maps
+API (Fig 3); we render equivalent corridor maps as standalone SVG and
+export GeoJSON for any GIS tool.  :mod:`repro.viz.figdata` writes the
+plot-ready data series behind every figure (gnuplot-style ``.dat``).
+"""
+
+from repro.viz.geojson import network_to_geojson
+from repro.viz.svgmap import render_network_svg
+from repro.viz.figdata import (
+    write_cdf_dat,
+    write_series_dat,
+)
+
+__all__ = [
+    "network_to_geojson",
+    "render_network_svg",
+    "write_cdf_dat",
+    "write_series_dat",
+]

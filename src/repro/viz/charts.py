@@ -1,0 +1,236 @@
+"""A small standalone SVG chart renderer.
+
+The original figures were gnuplot renderings; this module draws
+equivalent line charts and CDF step charts as self-contained SVG, with no
+plotting dependency: axes with "nice" ticks, a legend, and a qualitative
+colour cycle.  It is deliberately minimal — enough to regenerate every
+figure in the paper, not a plotting library.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+#: Qualitative colour cycle (colour-blind-safe Okabe–Ito palette).
+_COLORS = (
+    "#0072B2",
+    "#D55E00",
+    "#009E73",
+    "#CC79A7",
+    "#E69F00",
+    "#56B4E9",
+    "#000000",
+)
+
+_MARGIN_LEFT = 72.0
+_MARGIN_RIGHT = 20.0
+_MARGIN_TOP = 40.0
+_MARGIN_BOTTOM = 52.0
+_LEGEND_LINE_HEIGHT = 18.0
+
+
+def nice_ticks(low: float, high: float, target: int = 6) -> list[float]:
+    """Round tick positions covering [low, high] (the classic 1-2-5 rule)."""
+    if not math.isfinite(low) or not math.isfinite(high):
+        raise ValueError("tick range must be finite")
+    if high <= low:
+        high = low + 1.0
+    span = high - low
+    raw_step = span / max(1, target - 1)
+    magnitude = 10.0 ** math.floor(math.log10(raw_step))
+    for multiplier in (1.0, 2.0, 2.5, 5.0, 10.0):
+        step = multiplier * magnitude
+        if span / step <= target:
+            break
+    first = math.ceil(low / step) * step
+    ticks = []
+    value = first
+    while value <= high + 1e-9 * span:
+        ticks.append(round(value, 12))
+        value += step
+    return ticks
+
+
+def _format_tick(value: float) -> str:
+    if value == int(value) and abs(value) < 1e7:
+        return str(int(value))
+    return f"{value:g}"
+
+
+@dataclass
+class _Series:
+    name: str
+    points: list[tuple[float, float]]
+    color: str
+    dashed: bool
+    step: bool
+
+
+@dataclass
+class SvgChart:
+    """A single-panel chart: line and/or CDF-step series."""
+
+    title: str
+    x_label: str
+    y_label: str
+    width: float = 720.0
+    height: float = 420.0
+    x_range: tuple[float, float] | None = None
+    y_range: tuple[float, float] | None = None
+    _series: list[_Series] = field(default_factory=list)
+
+    def add_line(
+        self,
+        name: str,
+        points: Sequence[tuple[float, float]],
+        dashed: bool = False,
+    ) -> "SvgChart":
+        """Add an (x, y) line series.  Returns self for chaining."""
+        if not points:
+            raise ValueError(f"series {name!r} has no points")
+        color = _COLORS[len(self._series) % len(_COLORS)]
+        self._series.append(_Series(name, list(points), color, dashed, step=False))
+        return self
+
+    def add_cdf(self, name: str, values: Sequence[float]) -> "SvgChart":
+        """Add an empirical-CDF step series over raw sample values."""
+        from repro.metrics.cdf import EmpiricalCdf
+
+        steps = EmpiricalCdf(values).step_points()
+        color = _COLORS[len(self._series) % len(_COLORS)]
+        self._series.append(_Series(name, steps, color, dashed=False, step=True))
+        return self
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def _data_bounds(self) -> tuple[float, float, float, float]:
+        xs = [x for series in self._series for x, _ in series.points]
+        ys = [y for series in self._series for _, y in series.points]
+        x_lo, x_hi = (min(xs), max(xs)) if self.x_range is None else self.x_range
+        y_lo, y_hi = (min(ys), max(ys)) if self.y_range is None else self.y_range
+        if x_hi <= x_lo:
+            x_hi = x_lo + 1.0
+        if y_hi <= y_lo:
+            y_hi = y_lo + 1.0
+        # Pad auto ranges by 4% so lines don't hug the frame.
+        if self.x_range is None:
+            pad = 0.04 * (x_hi - x_lo)
+            x_lo, x_hi = x_lo - pad, x_hi + pad
+        if self.y_range is None:
+            pad = 0.04 * (y_hi - y_lo)
+            y_lo, y_hi = y_lo - pad, y_hi + pad
+        return x_lo, x_hi, y_lo, y_hi
+
+    def render(self, path: str | Path | None = None) -> str:
+        """Render to SVG text; optionally write to ``path``."""
+        if not self._series:
+            raise ValueError("chart has no series")
+        x_lo, x_hi, y_lo, y_hi = self._data_bounds()
+        plot_w = self.width - _MARGIN_LEFT - _MARGIN_RIGHT
+        plot_h = self.height - _MARGIN_TOP - _MARGIN_BOTTOM
+
+        def sx(x: float) -> float:
+            return _MARGIN_LEFT + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+        def sy(y: float) -> float:
+            return _MARGIN_TOP + plot_h - (y - y_lo) / (y_hi - y_lo) * plot_h
+
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width:.0f}" '
+            f'height="{self.height:.0f}" viewBox="0 0 {self.width:.0f} '
+            f'{self.height:.0f}" font-family="sans-serif">',
+            '<rect width="100%" height="100%" fill="white"/>',
+            f'<text x="{self.width / 2:.0f}" y="22" text-anchor="middle" '
+            f'font-size="15">{self.title}</text>',
+        ]
+
+        # Grid + ticks.
+        for tick in nice_ticks(x_lo, x_hi):
+            if not x_lo <= tick <= x_hi:
+                continue
+            x = sx(tick)
+            parts.append(
+                f'<line x1="{x:.1f}" y1="{_MARGIN_TOP:.1f}" x2="{x:.1f}" '
+                f'y2="{_MARGIN_TOP + plot_h:.1f}" stroke="#e0e0e0"/>'
+            )
+            parts.append(
+                f'<text x="{x:.1f}" y="{_MARGIN_TOP + plot_h + 18:.1f}" '
+                f'text-anchor="middle" font-size="11">{_format_tick(tick)}</text>'
+            )
+        for tick in nice_ticks(y_lo, y_hi):
+            if not y_lo <= tick <= y_hi:
+                continue
+            y = sy(tick)
+            parts.append(
+                f'<line x1="{_MARGIN_LEFT:.1f}" y1="{y:.1f}" '
+                f'x2="{_MARGIN_LEFT + plot_w:.1f}" y2="{y:.1f}" stroke="#e0e0e0"/>'
+            )
+            parts.append(
+                f'<text x="{_MARGIN_LEFT - 6:.1f}" y="{y + 4:.1f}" '
+                f'text-anchor="end" font-size="11">{_format_tick(tick)}</text>'
+            )
+
+        # Frame and axis labels.
+        parts.append(
+            f'<rect x="{_MARGIN_LEFT:.1f}" y="{_MARGIN_TOP:.1f}" '
+            f'width="{plot_w:.1f}" height="{plot_h:.1f}" fill="none" '
+            'stroke="#404040"/>'
+        )
+        parts.append(
+            f'<text x="{_MARGIN_LEFT + plot_w / 2:.1f}" '
+            f'y="{self.height - 12:.1f}" text-anchor="middle" '
+            f'font-size="13">{self.x_label}</text>'
+        )
+        parts.append(
+            f'<text x="16" y="{_MARGIN_TOP + plot_h / 2:.1f}" '
+            f'text-anchor="middle" font-size="13" '
+            f'transform="rotate(-90 16 {_MARGIN_TOP + plot_h / 2:.1f})">'
+            f"{self.y_label}</text>"
+        )
+
+        # Series.
+        for series in self._series:
+            coordinates: list[str] = []
+            previous_y: float | None = None
+            for x, y in series.points:
+                if series.step and previous_y is not None:
+                    coordinates.append(f"{sx(x):.2f},{sy(previous_y):.2f}")
+                coordinates.append(f"{sx(x):.2f},{sy(y):.2f}")
+                previous_y = y
+            dash = ' stroke-dasharray="6,4"' if series.dashed else ""
+            parts.append(
+                f'<polyline points="{" ".join(coordinates)}" fill="none" '
+                f'stroke="{series.color}" stroke-width="1.8"{dash}/>'
+            )
+            if not series.step:
+                for x, y in series.points:
+                    parts.append(
+                        f'<circle cx="{sx(x):.2f}" cy="{sy(y):.2f}" r="3" '
+                        f'fill="{series.color}"/>'
+                    )
+
+        # Legend (top-right, inside the frame).
+        legend_x = _MARGIN_LEFT + plot_w - 12
+        legend_y = _MARGIN_TOP + 14
+        for index, series in enumerate(self._series):
+            y = legend_y + index * _LEGEND_LINE_HEIGHT
+            parts.append(
+                f'<line x1="{legend_x - 150:.1f}" y1="{y - 4:.1f}" '
+                f'x2="{legend_x - 122:.1f}" y2="{y - 4:.1f}" '
+                f'stroke="{series.color}" stroke-width="2"/>'
+            )
+            parts.append(
+                f'<text x="{legend_x - 116:.1f}" y="{y:.1f}" '
+                f'font-size="12">{series.name}</text>'
+            )
+
+        parts.append("</svg>")
+        text = "\n".join(parts)
+        if path is not None:
+            Path(path).write_text(text, encoding="utf-8")
+        return text

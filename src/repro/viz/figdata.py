@@ -1,0 +1,50 @@
+"""Plot-ready data files for the paper's figures.
+
+The original figures were gnuplot renderings; the series behind them are
+what a reproduction must regenerate.  These helpers write whitespace-
+separated ``.dat`` files (one block per series, gnuplot ``index``
+convention) that plot directly with gnuplot or load with ``numpy.loadtxt``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+
+def write_series_dat(
+    path: str | Path,
+    series: dict[str, Sequence[tuple[float, float]]],
+    header: str = "",
+) -> None:
+    """Write named (x, y) series as gnuplot index blocks.
+
+    Missing samples should simply be absent from a series (gnuplot then
+    breaks the line, exactly how Fig 1 renders networks with no
+    end-to-end path in some years).
+    """
+    lines: list[str] = []
+    if header:
+        for header_line in header.splitlines():
+            lines.append(f"# {header_line}")
+    for name, points in series.items():
+        lines.append(f'# series: "{name}"')
+        for x, y in points:
+            lines.append(f"{x:.6f} {y:.6f}")
+        lines.append("")
+        lines.append("")
+    Path(path).write_text("\n".join(lines), encoding="utf-8")
+
+
+def write_cdf_dat(
+    path: str | Path,
+    series: dict[str, Sequence[float]],
+    header: str = "",
+) -> None:
+    """Write empirical CDFs of named samples as gnuplot index blocks."""
+    from repro.metrics.cdf import EmpiricalCdf
+
+    blocks = {
+        name: EmpiricalCdf(values).step_points() for name, values in series.items()
+    }
+    write_series_dat(path, blocks, header=header)

@@ -1,0 +1,102 @@
+"""GeoJSON export of reconstructed networks.
+
+Produces a FeatureCollection with one Point feature per tower and data
+center and one LineString feature per microwave link / fiber tail,
+loadable in any GIS viewer (QGIS, geojson.io, kepler.gl).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.network import HftNetwork
+
+
+def network_to_geojson(network: HftNetwork, path: str | Path | None = None) -> dict[str, Any]:
+    """The network as a GeoJSON FeatureCollection (optionally written out).
+
+    Coordinates follow the GeoJSON convention: [longitude, latitude].
+    """
+    features: list[dict[str, Any]] = []
+    for name, dc in network.data_centers.items():
+        features.append(
+            {
+                "type": "Feature",
+                "geometry": {
+                    "type": "Point",
+                    "coordinates": [dc.point.longitude, dc.point.latitude],
+                },
+                "properties": {"kind": "datacenter", "name": name},
+            }
+        )
+    for tower in network.towers.values():
+        features.append(
+            {
+                "type": "Feature",
+                "geometry": {
+                    "type": "Point",
+                    "coordinates": [tower.point.longitude, tower.point.latitude],
+                },
+                "properties": {
+                    "kind": "tower",
+                    "id": tower.tower_id,
+                    "site_name": tower.site_name,
+                    "structure_height_m": tower.structure_height_m,
+                    "licenses": list(tower.license_ids),
+                },
+            }
+        )
+    for link in network.links:
+        a = network.towers[link.tower_a].point
+        b = network.towers[link.tower_b].point
+        features.append(
+            {
+                "type": "Feature",
+                "geometry": {
+                    "type": "LineString",
+                    "coordinates": [
+                        [a.longitude, a.latitude],
+                        [b.longitude, b.latitude],
+                    ],
+                },
+                "properties": {
+                    "kind": "microwave",
+                    "length_km": round(link.length_m / 1000.0, 3),
+                    "frequencies_ghz": [
+                        round(freq / 1000.0, 3) for freq in link.frequencies_mhz
+                    ],
+                },
+            }
+        )
+    for tail in network.fiber_tails:
+        dc = network.data_centers[tail.data_center]
+        tower = network.towers[tail.tower_id]
+        features.append(
+            {
+                "type": "Feature",
+                "geometry": {
+                    "type": "LineString",
+                    "coordinates": [
+                        [dc.point.longitude, dc.point.latitude],
+                        [tower.point.longitude, tower.point.latitude],
+                    ],
+                },
+                "properties": {
+                    "kind": "fiber",
+                    "length_km": round(tail.length_m / 1000.0, 3),
+                },
+            }
+        )
+    collection = {
+        "type": "FeatureCollection",
+        "features": features,
+        "properties": {
+            "licensee": network.licensee,
+            "as_of": network.as_of.isoformat(),
+        },
+    }
+    if path is not None:
+        Path(path).write_text(json.dumps(collection, indent=2), encoding="utf-8")
+    return collection

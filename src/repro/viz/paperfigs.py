@@ -1,0 +1,110 @@
+"""SVG renderings of the paper's figures from driver outputs.
+
+Each function takes the corresponding :mod:`repro.analysis.figures`
+driver output and produces an :class:`~repro.viz.charts.SvgChart` styled
+after the original: Fig 1 keeps its deliberately non-zero y-axis ("to
+highlight the seemingly small but extremely consequential differences"),
+Fig 4 uses CDF steps, Fig 5 plots the four latency models.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from typing import Sequence
+
+from repro.core.timeline import LicenseCountSeries, TimelinePoint
+from repro.leo.latency import ComparisonPoint
+from repro.viz.charts import SvgChart
+
+#: Short display names matching the paper's legends.
+_SHORT_NAMES = {
+    "National Tower Company": "National Tower Company",
+    "Webline Holdings": "Webline Holdings",
+    "Jefferson Microwave": "Jefferson Microwave",
+    "Pierce Broadband": "Pierce Broadband",
+    "New Line Networks": "New Line Networks",
+}
+
+
+def _year_fraction(date: dt.date) -> float:
+    return date.year + (date.timetuple().tm_yday - 1) / 365.25
+
+
+def fig1_chart(series: dict[str, list[TimelinePoint]]) -> SvgChart:
+    """Fig 1: latency evolution, non-zero y-axis as in the paper."""
+    chart = SvgChart(
+        title="Evolution of end-to-end latency, CME – Equinix NY4",
+        x_label="Time",
+        y_label="Latency (ms)",
+        y_range=(3.95, 4.05),
+    )
+    for name, points in series.items():
+        line = [
+            (_year_fraction(p.date), p.latency_ms)
+            for p in points
+            if p.latency_ms is not None
+        ]
+        if line:
+            chart.add_line(_SHORT_NAMES.get(name, name), line)
+    return chart
+
+
+def fig2_chart(series: dict[str, LicenseCountSeries]) -> SvgChart:
+    """Fig 2: active license counts."""
+    chart = SvgChart(
+        title="Active licenses over the years",
+        x_label="Time",
+        y_label="No. of active licenses",
+        y_range=(0.0, 180.0),
+    )
+    for name, counts in series.items():
+        chart.add_line(
+            _SHORT_NAMES.get(name, name),
+            [(_year_fraction(date), float(count)) for date, count in counts.as_pairs()],
+        )
+    return chart
+
+
+def fig4a_chart(samples: dict[str, Sequence[float]]) -> SvgChart:
+    """Fig 4a: CDFs of link lengths on near-optimal paths."""
+    chart = SvgChart(
+        title="Link lengths on near-optimal CME–NY4 paths",
+        x_label="Distance (km)",
+        y_label="CDF",
+        x_range=(0.0, 100.0),
+        y_range=(0.0, 1.0),
+    )
+    for name, values in samples.items():
+        label = "WH" if "Webline" in name else ("NLN" if "New Line" in name else name)
+        chart.add_cdf(label, values)
+    return chart
+
+
+def fig4b_chart(samples: dict[str, Sequence[float]]) -> SvgChart:
+    """Fig 4b: CDFs of operating frequencies."""
+    chart = SvgChart(
+        title="Operating frequencies, CME–NY4",
+        x_label="Frequency (GHz)",
+        y_label="CDF",
+        x_range=(4.0, 18.0),
+        y_range=(0.0, 1.0),
+    )
+    for name, values in samples.items():
+        chart.add_cdf(name, values)
+    return chart
+
+
+def fig5_chart(points: list[ComparisonPoint]) -> SvgChart:
+    """Fig 5: latency models over ground distance."""
+    chart = SvgChart(
+        title="Satellites versus terrestrial MW networks",
+        x_label="Ground distance (km)",
+        y_label="One-way latency (ms)",
+    )
+    chart.add_line("Terrestrial MW", [(p.distance_km, p.microwave_ms) for p in points])
+    chart.add_line("LEO @ 550 km", [(p.distance_km, p.leo_550_ms) for p in points])
+    chart.add_line("LEO @ 300 km", [(p.distance_km, p.leo_300_ms) for p in points])
+    chart.add_line(
+        "Fiber", [(p.distance_km, p.fiber_ms) for p in points], dashed=True
+    )
+    return chart

@@ -1,0 +1,203 @@
+"""Standalone SVG corridor maps (the Fig 3 visualisation).
+
+An equirectangular projection scaled to the network's bounding box,
+rendered with no external dependencies: microwave links as lines, fiber
+tails dashed, towers as dots, data centers as labelled squares, and an
+optional highlight of the lowest-latency route.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import math
+
+from repro.core.network import HftNetwork
+from repro.geodesy import GeoPoint
+
+_STYLE = {
+    "microwave": 'stroke="#1f77b4" stroke-width="1.2"',
+    "fiber": 'stroke="#7f7f7f" stroke-width="1.0" stroke-dasharray="4,3"',
+    "route": 'stroke="#d62728" stroke-width="2.4" fill="none"',
+    "tower": 'fill="#1f77b4"',
+    "datacenter": 'fill="#2ca02c"',
+}
+
+
+class _Projection:
+    """Equirectangular lat/lon → SVG pixel mapping with padding."""
+
+    def __init__(
+        self,
+        points: list[GeoPoint],
+        width: float = 1200.0,
+        padding: float = 30.0,
+    ) -> None:
+        if not points:
+            raise ValueError("nothing to project")
+        lats = [point.latitude for point in points]
+        lons = [point.longitude for point in points]
+        self.min_lat, self.max_lat = min(lats), max(lats)
+        self.min_lon, self.max_lon = min(lons), max(lons)
+        lon_span = max(1e-6, self.max_lon - self.min_lon)
+        lat_span = max(1e-6, self.max_lat - self.min_lat)
+        # Scale latitude by cos(mid-lat) so distances look isotropic.
+        mid_lat = math.radians((self.min_lat + self.max_lat) / 2.0)
+        self._lat_stretch = 1.0 / max(0.1, math.cos(mid_lat))
+        usable = width - 2.0 * padding
+        self._scale = usable / lon_span
+        self.width = width
+        self.height = (
+            lat_span * self._scale * self._lat_stretch + 2.0 * padding
+        )
+        self._padding = padding
+
+    def __call__(self, point: GeoPoint) -> tuple[float, float]:
+        x = self._padding + (point.longitude - self.min_lon) * self._scale
+        y = self._padding + (self.max_lat - point.latitude) * self._scale * self._lat_stretch
+        return (x, y)
+
+
+def render_network_svg(
+    network: HftNetwork,
+    path: str | Path | None = None,
+    width: float = 1200.0,
+    highlight_route: tuple[str, str] | None = ("CME", "NY4"),
+) -> str:
+    """Render a network map to SVG text (optionally written to ``path``)."""
+    points = [dc.point for dc in network.data_centers.values()]
+    points.extend(tower.point for tower in network.towers.values())
+    project = _Projection(points, width=width)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{project.width:.0f}" '
+        f'height="{project.height:.0f}" viewBox="0 0 {project.width:.0f} '
+        f'{project.height:.0f}">',
+        f"<title>{network.licensee} as of {network.as_of.isoformat()}</title>",
+        '<rect width="100%" height="100%" fill="#fbfbf8"/>',
+    ]
+
+    for tail in network.fiber_tails:
+        x1, y1 = project(network.data_centers[tail.data_center].point)
+        x2, y2 = project(network.towers[tail.tower_id].point)
+        parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'{_STYLE["fiber"]}/>'
+        )
+    for link in network.links:
+        x1, y1 = project(network.towers[link.tower_a].point)
+        x2, y2 = project(network.towers[link.tower_b].point)
+        parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'{_STYLE["microwave"]}/>'
+        )
+
+    if highlight_route is not None:
+        route = network.lowest_latency_route(*highlight_route)
+        if route is not None:
+            coordinates = []
+            for node in route.nodes:
+                point = (
+                    network.towers[node].point
+                    if node in network.towers
+                    else network.data_centers[node].point
+                )
+                x, y = project(point)
+                coordinates.append(f"{x:.1f},{y:.1f}")
+            parts.append(
+                f'<polyline points="{" ".join(coordinates)}" {_STYLE["route"]}/>'
+            )
+
+    for tower in network.towers.values():
+        x, y = project(tower.point)
+        parts.append(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="2.5" {_STYLE["tower"]}/>')
+    for name, dc in network.data_centers.items():
+        x, y = project(dc.point)
+        parts.append(
+            f'<rect x="{x - 4:.1f}" y="{y - 4:.1f}" width="8" height="8" '
+            f'{_STYLE["datacenter"]}/>'
+        )
+        parts.append(
+            f'<text x="{x + 6:.1f}" y="{y - 6:.1f}" font-size="13" '
+            f'font-family="sans-serif">{name}</text>'
+        )
+
+    parts.append(
+        f'<text x="10" y="{project.height - 10:.0f}" font-size="14" '
+        f'font-family="sans-serif">{network.licensee} — '
+        f"{network.as_of.isoformat()} — {len(network.towers)} towers, "
+        f"{len(network.links)} MW links</text>"
+    )
+    parts.append("</svg>")
+    text = "\n".join(parts)
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text
+
+
+_NETWORK_COLORS = (
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00",
+    "#56B4E9", "#B22222", "#6A3D9A", "#636363",
+)
+
+
+def render_corridor_svg(
+    networks: list[HftNetwork],
+    path: str | Path | None = None,
+    width: float = 1400.0,
+) -> str:
+    """All networks on one map, one colour per licensee.
+
+    The multi-network view the paper's repository publishes alongside the
+    per-network maps: it makes visible how tightly the competitors hug
+    the same geodesic.
+    """
+    if not networks:
+        raise ValueError("no networks to draw")
+    points = []
+    for network in networks:
+        points.extend(dc.point for dc in network.data_centers.values())
+        points.extend(tower.point for tower in network.towers.values())
+    project = _Projection(points, width=width)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{project.width:.0f}" '
+        f'height="{project.height + 20 * len(networks):.0f}" viewBox="0 0 '
+        f'{project.width:.0f} {project.height + 20 * len(networks):.0f}">',
+        '<rect width="100%" height="100%" fill="#fbfbf8"/>',
+    ]
+    for index, network in enumerate(networks):
+        color = _NETWORK_COLORS[index % len(_NETWORK_COLORS)]
+        for link in network.links:
+            x1, y1 = project(network.towers[link.tower_a].point)
+            x2, y2 = project(network.towers[link.tower_b].point)
+            parts.append(
+                f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+                f'stroke="{color}" stroke-width="1.1" stroke-opacity="0.75"/>'
+            )
+        legend_y = project.height + 16 * (index + 1)
+        parts.append(
+            f'<line x1="16" y1="{legend_y - 4:.0f}" x2="44" y2="{legend_y - 4:.0f}" '
+            f'stroke="{color}" stroke-width="3"/>'
+        )
+        parts.append(
+            f'<text x="50" y="{legend_y:.0f}" font-size="12" '
+            f'font-family="sans-serif">{network.licensee} '
+            f"({len(network.towers)} towers)</text>"
+        )
+    for network in networks[:1]:
+        for name, dc in network.data_centers.items():
+            x, y = project(dc.point)
+            parts.append(
+                f'<rect x="{x - 4:.1f}" y="{y - 4:.1f}" width="8" height="8" '
+                f'{_STYLE["datacenter"]}/>'
+            )
+            parts.append(
+                f'<text x="{x + 6:.1f}" y="{y - 6:.1f}" font-size="13" '
+                f'font-family="sans-serif">{name}</text>'
+            )
+    parts.append("</svg>")
+    text = "\n".join(parts)
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text

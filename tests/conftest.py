@@ -1,0 +1,101 @@
+"""Shared fixtures.
+
+The ``paper2020`` scenario build calibrates ~30 chains by bisection
+(~1 s); it is cached per process, so the session-scoped fixtures here are
+cheap for every test after the first.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import pytest
+
+from repro.core.corridor import chicago_nj_corridor
+from repro.core.reconstruction import NetworkReconstructor
+from repro.geodesy import GeoPoint
+from repro.synth.scenario import paper2020_scenario
+from repro.uls.records import License, MicrowavePath, TowerLocation
+
+
+@pytest.fixture(scope="session")
+def scenario():
+    return paper2020_scenario()
+
+
+@pytest.fixture(scope="session")
+def corridor():
+    return chicago_nj_corridor()
+
+
+@pytest.fixture(scope="session")
+def reconstructor(corridor):
+    return NetworkReconstructor(corridor)
+
+
+@pytest.fixture(scope="session")
+def snapshot_date(scenario):
+    return scenario.snapshot_date
+
+
+@pytest.fixture(scope="session")
+def nln_network(scenario, reconstructor, snapshot_date):
+    return reconstructor.reconstruct_licensee(
+        scenario.database, "New Line Networks", snapshot_date
+    )
+
+
+@pytest.fixture(scope="session")
+def wh_network(scenario, reconstructor, snapshot_date):
+    return reconstructor.reconstruct_licensee(
+        scenario.database, "Webline Holdings", snapshot_date
+    )
+
+
+def make_license(
+    license_id: str = "L0001",
+    licensee: str = "Test Networks LLC",
+    points: tuple[tuple[float, float], ...] = ((41.75, -88.18), (41.60, -87.80)),
+    grant: dt.date = dt.date(2015, 3, 1),
+    cancellation: dt.date | None = None,
+    termination: dt.date | None = None,
+    frequencies: tuple[float, ...] = (11225.0,),
+    radio_service: str = "MG",
+    station_class: str = "FXO",
+) -> License:
+    """A small single-path (chain) license for unit tests.
+
+    ``points`` lists tower coordinates; consecutive points become paths
+    from a single transmitter chain (location i -> i+1).
+    """
+    locations = {
+        index + 1: TowerLocation(
+            location_number=index + 1,
+            point=GeoPoint(lat, lon),
+            ground_elevation_m=200.0,
+            structure_height_m=90.0,
+        )
+        for index, (lat, lon) in enumerate(points)
+    }
+    paths = [
+        MicrowavePath(
+            path_number=index + 1,
+            tx_location_number=index + 1,
+            rx_location_number=index + 2,
+            frequencies_mhz=frequencies,
+        )
+        for index in range(len(points) - 1)
+    ]
+    return License(
+        license_id=license_id,
+        callsign=f"WQ{license_id}",
+        licensee_name=licensee,
+        radio_service_code=radio_service,
+        station_class=station_class,
+        grant_date=grant,
+        expiration_date=grant + dt.timedelta(days=3650) if grant else None,
+        cancellation_date=cancellation,
+        termination_date=termination,
+        locations=locations,
+        paths=paths,
+    )

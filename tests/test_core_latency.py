@@ -1,0 +1,90 @@
+"""Tests for the speed-of-light latency model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constants import FIBER_SPEED, SPEED_OF_LIGHT
+from repro.core.latency import (
+    LatencyModel,
+    PAPER_LATENCY_MODEL,
+    seconds_to_ms,
+    seconds_to_us,
+)
+
+
+class TestDefaults:
+    def test_paper_model_speeds(self):
+        assert PAPER_LATENCY_MODEL.microwave_speed == SPEED_OF_LIGHT
+        assert PAPER_LATENCY_MODEL.fiber_speed == pytest.approx(
+            2.0 * SPEED_OF_LIGHT / 3.0
+        )
+        assert PAPER_LATENCY_MODEL.per_tower_overhead_s == 0.0
+
+    def test_minimum_achievable_latency_matches_paper(self):
+        # §4: "the minimum achievable latency of 3.955 ms" over 1,186 km.
+        latency_ms = seconds_to_ms(PAPER_LATENCY_MODEL.geodesic_latency_s(1_186_000.0))
+        assert latency_ms == pytest.approx(3.956, abs=0.002)
+
+
+class TestArithmetic:
+    def test_microwave_at_c(self):
+        model = LatencyModel()
+        assert model.microwave_latency_s(SPEED_OF_LIGHT) == pytest.approx(1.0)
+
+    def test_fiber_fifty_percent_slower(self):
+        model = LatencyModel()
+        d = 100_000.0
+        assert model.fiber_latency_s(d) == pytest.approx(
+            1.5 * model.microwave_latency_s(d)
+        )
+
+    def test_link_latency_dispatch(self):
+        model = LatencyModel()
+        assert model.link_latency_s(1000.0, "microwave") < model.link_latency_s(
+            1000.0, "fiber"
+        )
+        with pytest.raises(ValueError):
+            model.link_latency_s(1000.0, "carrier-pigeon")
+
+    def test_tower_overhead_scales(self):
+        model = LatencyModel(per_tower_overhead_s=1.4e-6)
+        assert model.tower_overhead_s(25) == pytest.approx(35e-6)
+
+    def test_crossover_arithmetic_from_section3(self):
+        # JM: 22 towers at 3.96597 ms; NLN: 25 towers at 3.96171 ms.  With
+        # per-tower overhead t, JM wins when 3.96597 + 22t < 3.96171 + 25t,
+        # i.e. t > 4.26us/3 = 1.42us — the paper's ~1.4us figure.
+        gap_ms = 3.96597 - 3.96171
+        crossover_us = gap_ms * 1000.0 / (25 - 22)
+        assert crossover_us == pytest.approx(1.42, abs=0.01)
+
+
+class TestValidation:
+    def test_rejects_superluminal(self):
+        with pytest.raises(ValueError):
+            LatencyModel(microwave_speed=SPEED_OF_LIGHT * 1.1)
+
+    def test_rejects_nonpositive_speed(self):
+        with pytest.raises(ValueError):
+            LatencyModel(fiber_speed=0.0)
+
+    def test_rejects_negative_overhead(self):
+        with pytest.raises(ValueError):
+            LatencyModel(per_tower_overhead_s=-1.0)
+
+    def test_rejects_negative_lengths(self):
+        model = LatencyModel()
+        with pytest.raises(ValueError):
+            model.microwave_latency_s(-1.0)
+        with pytest.raises(ValueError):
+            model.fiber_latency_s(-1.0)
+        with pytest.raises(ValueError):
+            model.geodesic_latency_s(-1.0)
+        with pytest.raises(ValueError):
+            model.tower_overhead_s(-1)
+
+
+def test_unit_conversions():
+    assert seconds_to_ms(0.00396171) == pytest.approx(3.96171)
+    assert seconds_to_us(4e-07) == pytest.approx(0.4)

@@ -1,0 +1,124 @@
+"""Tests for the reconstruction pipeline (licenses → network at a date)."""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import pytest
+
+from repro.core.corridor import chicago_nj_corridor
+from repro.core.reconstruction import NetworkReconstructor, reconstruct_all
+from repro.geodesy import geodesic_interpolate
+from repro.uls.database import UlsDatabase
+from tests.conftest import make_license
+
+CORRIDOR = chicago_nj_corridor()
+
+
+def _chain_licenses(
+    licensee: str = "Demo Net",
+    n_links: int = 23,
+    grant: dt.date = dt.date(2015, 1, 1),
+    cancellation: dt.date | None = None,
+):
+    """A straight 24-tower corridor chain, one license per link."""
+    cme, ny4 = CORRIDOR.site("CME").point, CORRIDOR.site("NY4").point
+    margin = 0.0008
+    fractions = [margin + f * (1 - 2 * margin) / n_links for f in range(n_links + 1)]
+    points = geodesic_interpolate(cme, ny4, fractions)
+    licenses = []
+    for index, (a, b) in enumerate(zip(points, points[1:])):
+        licenses.append(
+            make_license(
+                f"{licensee[:2].upper()}{index:03d}",
+                licensee=licensee,
+                points=((a.latitude, a.longitude), (b.latitude, b.longitude)),
+                grant=grant,
+                cancellation=cancellation,
+            )
+        )
+    return licenses
+
+
+class TestReconstruct:
+    def test_full_chain_is_connected(self):
+        reconstructor = NetworkReconstructor(CORRIDOR)
+        network = reconstructor.reconstruct(_chain_licenses(), dt.date(2020, 4, 1))
+        assert network.is_connected("CME", "NY4")
+        route = network.lowest_latency_route("CME", "NY4")
+        assert route.latency_ms == pytest.approx(3.96, abs=0.01)
+
+    def test_before_grant_date_nothing_exists(self):
+        reconstructor = NetworkReconstructor(CORRIDOR)
+        network = reconstructor.reconstruct(_chain_licenses(), dt.date(2014, 1, 1))
+        assert network.tower_count == 0
+        assert not network.is_connected("CME", "NY4")
+
+    def test_after_cancellation_disconnected(self):
+        licenses = _chain_licenses(cancellation=dt.date(2018, 1, 1))
+        reconstructor = NetworkReconstructor(CORRIDOR)
+        network = reconstructor.reconstruct(licenses, dt.date(2019, 1, 1))
+        assert not network.is_connected("CME", "NY4")
+
+    def test_single_missing_link_breaks_connectivity(self):
+        licenses = _chain_licenses()
+        licenses[10].cancellation_date = dt.date(2018, 1, 1)
+        reconstructor = NetworkReconstructor(CORRIDOR)
+        network = reconstructor.reconstruct(licenses, dt.date(2019, 1, 1))
+        assert not network.is_connected("CME", "NY4")
+        # ... but before the cancellation the path exists.
+        earlier = reconstructor.reconstruct(licenses, dt.date(2017, 1, 1))
+        assert earlier.is_connected("CME", "NY4")
+
+    def test_mixed_licensees_require_explicit_name(self):
+        mixed = _chain_licenses("A Net")[:2] + _chain_licenses("B Net")[:2]
+        # Regenerate ids to avoid collisions.
+        for index, lic in enumerate(mixed):
+            lic.license_id = f"MX{index}"
+            lic.callsign = f"WQMX{index}"
+        reconstructor = NetworkReconstructor(CORRIDOR)
+        with pytest.raises(ValueError, match="multiple licensees"):
+            reconstructor.reconstruct(mixed, dt.date(2020, 1, 1))
+        network = reconstructor.reconstruct(
+            mixed, dt.date(2020, 1, 1), licensee="Joint"
+        )
+        assert network.licensee == "Joint"
+
+    def test_empty_license_list(self):
+        reconstructor = NetworkReconstructor(CORRIDOR)
+        network = reconstructor.reconstruct([], dt.date(2020, 1, 1))
+        assert network.licensee == "(empty)"
+        assert network.tower_count == 0
+
+
+class TestDatabaseHelpers:
+    @pytest.fixture()
+    def database(self):
+        db = UlsDatabase()
+        db.extend(_chain_licenses("Alpha Net"))
+        partial = _chain_licenses("Beta Partial")[:10]
+        for index, lic in enumerate(partial):
+            lic.license_id = f"BP{index:03d}"
+            lic.callsign = f"WQBP{index:03d}"
+        db.extend(partial)
+        return db
+
+    def test_reconstruct_licensee(self, database):
+        reconstructor = NetworkReconstructor(CORRIDOR)
+        network = reconstructor.reconstruct_licensee(
+            database, "Alpha Net", dt.date(2020, 1, 1)
+        )
+        assert network.licensee == "Alpha Net"
+        assert network.is_connected("CME", "NY4")
+
+    def test_connected_networks_filters_partials(self, database):
+        reconstructor = NetworkReconstructor(CORRIDOR)
+        connected = reconstructor.connected_networks(
+            database, dt.date(2020, 1, 1), "CME", "NY4"
+        )
+        assert [network.licensee for network in connected] == ["Alpha Net"]
+
+    def test_reconstruct_all(self, database):
+        networks = reconstruct_all(database, CORRIDOR, dt.date(2020, 1, 1))
+        assert set(networks) == {"Alpha Net", "Beta Partial"}
+        assert not networks["Beta Partial"].is_connected("CME", "NY4")

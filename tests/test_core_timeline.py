@@ -1,0 +1,90 @@
+"""Tests for longitudinal reconstruction."""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import pytest
+
+from repro.core.timeline import (
+    active_license_count,
+    grant_cancellation_activity,
+    latency_timeline,
+    license_count_timeline,
+    yearly_snapshot_dates,
+)
+from repro.core.corridor import chicago_nj_corridor
+from repro.uls.database import UlsDatabase
+from tests.conftest import make_license
+from tests.test_core_reconstruction import _chain_licenses
+
+CORRIDOR = chicago_nj_corridor()
+
+
+class TestDateGrid:
+    def test_default_grid_matches_paper(self):
+        dates = yearly_snapshot_dates()
+        assert dates[0] == dt.date(2013, 1, 1)
+        assert dates[-2] == dt.date(2019, 1, 1)
+        assert dates[-1] == dt.date(2020, 4, 1)
+        assert len(dates) == 8
+
+    def test_custom_range(self):
+        dates = yearly_snapshot_dates(2015, 2016, final_date=dt.date(2017, 6, 1))
+        assert dates == [dt.date(2015, 1, 1), dt.date(2016, 1, 1), dt.date(2017, 6, 1)]
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            yearly_snapshot_dates(2019, 2013)
+
+    def test_rejects_final_date_before_grid(self):
+        with pytest.raises(ValueError):
+            yearly_snapshot_dates(2013, 2019, final_date=dt.date(2018, 1, 1))
+
+
+class TestLatencyTimeline:
+    def test_series_tracks_grant_and_cancellation(self):
+        licenses = _chain_licenses(
+            "Demo Net", grant=dt.date(2015, 6, 1), cancellation=dt.date(2018, 6, 1)
+        )
+        db = UlsDatabase(licenses)
+        dates = [dt.date(year, 1, 1) for year in (2015, 2016, 2017, 2018, 2019)]
+        points = latency_timeline(db, CORRIDOR, "Demo Net", dates)
+        values = [p.latency_ms for p in points]
+        assert values[0] is None  # before grant
+        assert values[1] is not None and values[1] == pytest.approx(3.96, abs=0.01)
+        assert values[3] is not None  # Jan 2018: still active
+        assert values[4] is None  # after cancellation
+
+    def test_tower_count_recorded_when_connected(self):
+        db = UlsDatabase(_chain_licenses("Demo Net"))
+        (point,) = latency_timeline(db, CORRIDOR, "Demo Net", [dt.date(2020, 1, 1)])
+        assert point.tower_count == 24
+
+
+class TestLicenseCounts:
+    def test_counts_step_with_events(self):
+        lics = [
+            make_license("L1", grant=dt.date(2014, 1, 1)),
+            make_license("L2", grant=dt.date(2015, 6, 1)),
+            make_license("L3", grant=dt.date(2015, 7, 1), cancellation=dt.date(2016, 2, 1)),
+        ]
+        db = UlsDatabase(lics)
+        dates = [dt.date(year, 1, 1) for year in (2014, 2015, 2016, 2017)]
+        series = license_count_timeline(db, "Test Networks LLC", dates)
+        assert series.counts == (1, 1, 3, 2)
+        assert series.as_pairs()[0] == (dt.date(2014, 1, 1), 1)
+
+    def test_active_license_count_helper(self):
+        lics = [make_license("L1"), make_license("L2", cancellation=dt.date(2016, 1, 1))]
+        assert active_license_count(lics, dt.date(2017, 1, 1)) == 1
+
+    def test_grant_cancellation_activity(self):
+        lics = [
+            make_license("L1", grant=dt.date(2014, 3, 1)),
+            make_license("L2", grant=dt.date(2014, 9, 1), cancellation=dt.date(2014, 12, 1)),
+            make_license("L3", grant=dt.date(2015, 1, 1)),
+        ]
+        db = UlsDatabase(lics)
+        grants, cancels = grant_cancellation_activity(db, "Test Networks LLC", 2014)
+        assert (grants, cancels) == (2, 1)

@@ -1,0 +1,77 @@
+"""Tests for YAML serialisation of reconstructed networks."""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import pytest
+import yaml
+
+from repro.core.reconstruction import NetworkReconstructor
+from repro.core.corridor import chicago_nj_corridor
+from repro.core.yamlio import (
+    network_from_dict,
+    network_from_yaml,
+    network_to_dict,
+    network_to_yaml,
+)
+from tests.test_core_reconstruction import _chain_licenses
+
+CORRIDOR = chicago_nj_corridor()
+
+
+@pytest.fixture()
+def network():
+    reconstructor = NetworkReconstructor(CORRIDOR)
+    return reconstructor.reconstruct(_chain_licenses(), dt.date(2020, 4, 1))
+
+
+class TestSerialisation:
+    def test_dict_contains_paper_fields(self, network):
+        data = network_to_dict(network)
+        assert data["licensee"] == "Demo Net"
+        assert data["as_of"] == "2020-04-01"
+        # §1: coordinates and heights, link lengths, frequencies.
+        tower = data["towers"][0]
+        assert {"latitude", "longitude", "structure_height_m"} <= set(tower)
+        link = data["links"][0]
+        assert {"towers", "length_km", "frequencies_ghz", "licenses"} <= set(link)
+
+    def test_yaml_text_is_human_readable(self, network):
+        text = network_to_yaml(network)
+        assert "licensee: Demo Net" in text
+        assert "fiber_tails:" in text
+        # Safe-loadable and structurally intact.
+        assert yaml.safe_load(text)["format_version"] == 1
+
+    def test_roundtrip_preserves_routing(self, network):
+        text = network_to_yaml(network)
+        back = network_from_yaml(text)
+        original = network.lowest_latency_route("CME", "NY4")
+        restored = back.lowest_latency_route("CME", "NY4")
+        # YAML rounds lengths to the millimetre; allow a nanosecond.
+        assert restored.latency_s == pytest.approx(original.latency_s, abs=1e-9)
+        assert restored.tower_count == original.tower_count
+
+    def test_roundtrip_preserves_frequencies(self, network):
+        back = network_from_yaml(network_to_yaml(network))
+        assert back.links[0].frequencies_mhz == network.links[0].frequencies_mhz
+
+    def test_file_roundtrip(self, network, tmp_path):
+        path = tmp_path / "net.yaml"
+        network_to_yaml(network, path)
+        back = network_from_yaml(path)
+        assert back.licensee == network.licensee
+
+    def test_version_check(self, network):
+        data = network_to_dict(network)
+        data["format_version"] = 99
+        with pytest.raises(ValueError, match="format version"):
+            network_from_dict(data)
+
+    def test_latency_model_roundtrips(self, network):
+        slower = network.with_latency_model(
+            network.latency_model.__class__(per_tower_overhead_s=1e-6)
+        )
+        back = network_from_yaml(network_to_yaml(slower))
+        assert back.latency_model.per_tower_overhead_s == pytest.approx(1e-6)

@@ -1,0 +1,189 @@
+"""Tests for the §6 design pipeline (sites, trunk RCSP, redundancy,
+evaluation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.corridor import CME, NY4
+from repro.design.evaluate import (
+    NetworkDesign,
+    corridor_endpoints,
+    design_to_network,
+    evaluate_design,
+    latency_lower_bound_ms,
+)
+from repro.design.redundancy import augment_with_bypasses
+from repro.design.sites import CandidateSite, generate_site_pool
+from repro.design.trunk import DesignError, design_trunk
+from repro.geodesy import geodesic_distance
+from repro.geodesy.path import offset_point
+from repro.radio.budget import LinkBudget
+
+WEST_P, EAST_P = CME.point, NY4.point
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return generate_site_pool(WEST_P, EAST_P, n_sites=400, seed=3)
+
+
+@pytest.fixture(scope="module")
+def gateways():
+    west = CandidateSite("gw-west", offset_point(WEST_P, EAST_P, 0.0008, 0.0), 3.0, 0.0)
+    east = CandidateSite("gw-east", offset_point(WEST_P, EAST_P, 0.9992, 0.0), 3.0, 0.0)
+    return west, east
+
+
+@pytest.fixture(scope="module")
+def trunk(pool, gateways):
+    return design_trunk(pool, *gateways, budget=45.0)
+
+
+class TestSitePool:
+    def test_deterministic(self):
+        a = generate_site_pool(WEST_P, EAST_P, n_sites=50, seed=1)
+        b = generate_site_pool(WEST_P, EAST_P, n_sites=50, seed=1)
+        assert [s.point.rounded() for s in a] == [s.point.rounded() for s in b]
+
+    def test_sites_within_band(self):
+        pool = generate_site_pool(WEST_P, EAST_P, n_sites=100, band_km=30.0, seed=2)
+        assert all(site.offset_m <= 30_000.0 for site in pool)
+
+    def test_prime_sites_cost_more(self):
+        pool = generate_site_pool(WEST_P, EAST_P, n_sites=300, seed=2)
+        near = [s.annual_cost for s in pool if s.offset_m < 5_000.0]
+        far = [s.annual_cost for s in pool if s.offset_m > 25_000.0]
+        assert sum(near) / len(near) > sum(far) / len(far)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_site_pool(WEST_P, EAST_P, n_sites=1)
+        with pytest.raises(ValueError):
+            generate_site_pool(WEST_P, EAST_P, band_km=0.0)
+        with pytest.raises(ValueError):
+            CandidateSite("x", WEST_P, annual_cost=0.0, offset_m=0.0)
+
+
+class TestTrunkDesign:
+    def test_respects_budget(self, trunk):
+        assert trunk.total_cost <= 45.0
+
+    def test_hops_within_link_budget(self, trunk):
+        max_hop = LinkBudget().max_hop_km(11.0, 35.0)
+        assert all(hop <= max_hop for hop in trunk.hop_lengths_km())
+
+    def test_latency_near_geodesic(self, trunk):
+        geodesic_km = geodesic_distance(WEST_P, EAST_P) / 1000.0
+        stretch = trunk.microwave_length_m / 1000.0 / geodesic_km
+        assert 1.0 < stretch < 1.01  # within 1% of the geodesic
+
+    def test_more_budget_never_hurts(self, pool, gateways):
+        poor = design_trunk(pool, *gateways, budget=36.0)
+        rich = design_trunk(pool, *gateways, budget=60.0)
+        assert rich.microwave_length_m < poor.microwave_length_m
+        assert poor.total_cost <= 36.0
+
+    def test_infeasible_budget_raises(self, pool, gateways):
+        with pytest.raises(DesignError):
+            design_trunk(pool, *gateways, budget=5.0)
+
+    def test_band_too_high_for_corridor_raises(self, pool, gateways):
+        # At 23 GHz with a 55 dB margin requirement, max hops are tiny;
+        # a sparse pool cannot close the corridor.
+        with pytest.raises(DesignError):
+            design_trunk(
+                pool, *gateways, budget=100.0, band_ghz=23.0, required_margin_db=55.0
+            )
+
+    def test_rejects_nonpositive_budget(self, pool, gateways):
+        with pytest.raises(ValueError):
+            design_trunk(pool, *gateways, budget=0.0)
+
+    def test_gateways_are_endpoints(self, trunk, gateways):
+        west, east = gateways
+        assert trunk.sites[0].site_id == west.site_id
+        assert trunk.sites[-1].site_id == east.site_id
+
+
+class TestRedundancy:
+    def test_bypasses_within_budget_and_distinct(self, trunk, pool):
+        bypasses = augment_with_bypasses(trunk, pool, budget=12.0)
+        assert sum(b.site.annual_cost for b in bypasses) <= 12.0
+        ids = [b.site.site_id for b in bypasses]
+        assert len(ids) == len(set(ids))
+        trunk_ids = {site.site_id for site in trunk.sites}
+        assert not trunk_ids & set(ids)
+
+    def test_zero_budget_no_bypasses(self, trunk, pool):
+        assert augment_with_bypasses(trunk, pool, budget=0.0) == []
+
+    def test_negative_budget_rejected(self, trunk, pool):
+        with pytest.raises(ValueError):
+            augment_with_bypasses(trunk, pool, budget=-1.0)
+
+    def test_more_budget_more_coverage(self, trunk, pool):
+        few = augment_with_bypasses(trunk, pool, budget=5.0)
+        many = augment_with_bypasses(trunk, pool, budget=25.0)
+        covered_few = set().union(*(b.covered_links for b in few)) if few else set()
+        covered_many = set().union(*(b.covered_links for b in many))
+        assert covered_few <= covered_many
+        assert len(covered_many) > len(covered_few)
+
+
+class TestEvaluation:
+    def test_report_fields(self, trunk, pool):
+        west, east = corridor_endpoints(WEST_P, EAST_P)
+        bypasses = tuple(augment_with_bypasses(trunk, pool, budget=15.0))
+        design = NetworkDesign(trunk=trunk, bypasses=bypasses, west=west, east=east)
+        report = evaluate_design(design, n_storms=5)
+        assert report.latency_ms > latency_lower_bound_ms(WEST_P, EAST_P)
+        assert 1.0 < report.stretch < 1.05
+        assert 0.0 <= report.apa <= 1.0
+        assert 0.0 <= report.storm_survival <= 1.0
+        assert report.tower_count == trunk.hop_count + 1
+        assert report.total_cost == pytest.approx(design.total_cost)
+
+    def test_bypasses_raise_apa(self, trunk, pool):
+        west, east = corridor_endpoints(WEST_P, EAST_P)
+        bare = evaluate_design(
+            NetworkDesign(trunk=trunk, bypasses=(), west=west, east=east),
+            n_storms=1,
+        )
+        augmented = evaluate_design(
+            NetworkDesign(
+                trunk=trunk,
+                bypasses=tuple(augment_with_bypasses(trunk, pool, budget=20.0)),
+                west=west,
+                east=east,
+            ),
+            n_storms=1,
+        )
+        assert bare.apa == 0.0
+        assert augmented.apa > 0.5
+        # The bypasses must not change the fair-weather shortest path.
+        assert augmented.latency_ms == pytest.approx(bare.latency_ms, abs=1e-9)
+
+    def test_low_band_alternates_survive_storms(self, trunk, pool):
+        # §6 takeaway 3: 6 GHz alternates out-survive 11 GHz alternates.
+        west, east = corridor_endpoints(WEST_P, EAST_P)
+        low = tuple(augment_with_bypasses(trunk, pool, budget=20.0, band_ghz=6.0))
+        high = tuple(
+            augment_with_bypasses(trunk, pool, budget=20.0, band_ghz=11.0)
+        )
+        low_report = evaluate_design(
+            NetworkDesign(trunk=trunk, bypasses=low, west=west, east=east),
+            n_storms=15,
+        )
+        high_report = evaluate_design(
+            NetworkDesign(trunk=trunk, bypasses=high, west=west, east=east),
+            n_storms=15,
+        )
+        assert low_report.storm_survival >= high_report.storm_survival
+
+    def test_designed_network_is_valid_hftnetwork(self, trunk, pool):
+        west, east = corridor_endpoints(WEST_P, EAST_P)
+        design = NetworkDesign(trunk=trunk, bypasses=(), west=west, east=east)
+        network = design_to_network(design)
+        assert network.is_connected("WEST", "EAST")
+        assert network.licensee == "Designed Network"

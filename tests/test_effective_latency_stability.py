@@ -1,0 +1,122 @@
+"""Tests for effective latency and ranking-stability analyses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stability import ranking_stability
+from repro.metrics.effective_latency import (
+    WeatherLatencyProfile,
+    route_availability,
+    storm_winner,
+    weather_latency_profile,
+)
+
+
+@pytest.fixture(scope="module")
+def corridor_points(scenario):
+    return (
+        scenario.corridor.site("CME").point,
+        scenario.corridor.site("NY4").point,
+    )
+
+
+class TestRouteAvailability:
+    def test_wh_route_more_available_than_nln(self, nln_network, wh_network):
+        nln = route_availability(nln_network, "CME", "NY4")
+        wh = route_availability(wh_network, "CME", "NY4")
+        assert 0.0 < nln < wh <= 1.0
+
+    def test_wh_availability_is_high(self, wh_network):
+        # An all-6 GHz short-hop chain is essentially rain-proof.
+        assert route_availability(wh_network, "CME", "NY4") > 0.999
+
+    def test_disconnected_network_zero(self, scenario, reconstructor):
+        empty = reconstructor.reconstruct(
+            [], scenario.snapshot_date, licensee="Empty"
+        )
+        assert route_availability(empty, "CME", "NY4") == 0.0
+
+
+class TestWeatherProfile:
+    @pytest.fixture(scope="class")
+    def profiles(self, nln_network, wh_network, corridor_points):
+        return {
+            "NLN": weather_latency_profile(
+                nln_network, "CME", "NY4", corridor_points, n_storms=25
+            ),
+            "WH": weather_latency_profile(
+                wh_network, "CME", "NY4", corridor_points, n_storms=25
+            ),
+        }
+
+    def test_fair_weather_matches_table1(self, profiles):
+        assert profiles["NLN"].fair_weather_ms == pytest.approx(3.96171, abs=1e-4)
+        assert profiles["WH"].fair_weather_ms == pytest.approx(3.97157, abs=1e-4)
+
+    def test_wh_never_out_nln_often_out(self, profiles):
+        assert profiles["WH"].outage_fraction == 0.0
+        assert profiles["NLN"].outage_fraction > 0.3
+
+    def test_percentiles_ordered(self, profiles):
+        for profile in profiles.values():
+            if profile.median_ms is not None and profile.p90_ms is not None:
+                assert profile.fair_weather_ms <= profile.median_ms + 1e-9
+                assert profile.median_ms <= profile.p90_ms <= profile.worst_ms
+
+    def test_degradation_metric(self, profiles):
+        wh = profiles["WH"]
+        assert wh.degradation_p90_us is not None
+        assert wh.degradation_p90_us < 50.0  # WH barely degrades
+
+    def test_reliability_buyer_picks_wh(self, profiles):
+        assert storm_winner(profiles) == "WH"
+
+    def test_validation(self, nln_network, corridor_points):
+        with pytest.raises(ValueError):
+            weather_latency_profile(
+                nln_network, "CME", "NY4", corridor_points, n_storms=0
+            )
+        with pytest.raises(ValueError):
+            storm_winner({})
+
+
+class TestRankingStability:
+    def test_jm_nln_flip_near_paper_estimate(self, scenario):
+        report = ranking_stability(scenario, max_overhead_us=3.0)
+        flip = next(
+            (
+                f
+                for f in report.flips
+                if {f.faster_at_zero, f.slower_at_zero}
+                == {"New Line Networks", "Jefferson Microwave"}
+            ),
+            None,
+        )
+        assert flip is not None
+        assert flip.faster_at_zero == "New Line Networks"
+        # Paper §3: "if the per-tower added latency was higher than
+        # 1.4 µs, JM would offer lower end-end latency".
+        assert flip.crossover_us == pytest.approx(1.42, abs=0.05)
+
+    def test_order_at_zero_matches_table1(self, scenario):
+        report = ranking_stability(scenario)
+        assert report.order_at_zero[:3] == (
+            "New Line Networks",
+            "Pierce Broadband",
+            "Jefferson Microwave",
+        )
+
+    def test_jm_leads_at_high_overhead(self, scenario):
+        report = ranking_stability(scenario, max_overhead_us=3.0)
+        assert report.order_at_max[0] == "Jefferson Microwave"
+        assert not report.stable
+
+    def test_slow_networks_never_flip_into_the_lead(self, scenario):
+        report = ranking_stability(scenario, max_overhead_us=3.0)
+        leaders = {report.order_at_zero[0], report.order_at_max[0]}
+        assert "SW Networks" not in leaders  # 74 towers: overhead only hurts
+
+    def test_validation(self, scenario):
+        with pytest.raises(ValueError):
+            ranking_stability(scenario, max_overhead_us=0.0)

@@ -1,0 +1,133 @@
+"""Tests for entity resolution (§2.4 / §6 future work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.entities import (
+    complementary_pairs,
+    contact_domains,
+    joint_analysis,
+    resolve_entities,
+    shared_domain_groups,
+)
+from repro.analysis.funnel import run_scraping_funnel
+from repro.synth.scenario import (
+    SPLIT_NETWORK_EAST,
+    SPLIT_NETWORK_EMAIL,
+    SPLIT_NETWORK_WEST,
+)
+
+
+class TestContactDomains:
+    def test_split_halves_share_domain(self, scenario):
+        west = contact_domains(scenario.database, SPLIT_NETWORK_WEST)
+        east = contact_domains(scenario.database, SPLIT_NETWORK_EAST)
+        expected = {SPLIT_NETWORK_EMAIL.rpartition("@")[2]}
+        assert west == expected
+        assert east == expected
+
+    def test_independent_networks_have_distinct_domains(self, scenario):
+        nln = contact_domains(scenario.database, "New Line Networks")
+        wh = contact_domains(scenario.database, "Webline Holdings")
+        assert nln and wh
+        assert nln.isdisjoint(wh)
+
+    def test_shared_domain_groups_finds_only_the_pair(self, scenario):
+        groups = shared_domain_groups(scenario.database)
+        assert list(groups.values()) == [
+            [SPLIT_NETWORK_EAST, SPLIT_NETWORK_WEST]
+        ]
+
+
+class TestJointAnalysis:
+    def test_split_pair_is_complementary(self, scenario):
+        analysis = joint_analysis(
+            scenario.database,
+            scenario.corridor,
+            (SPLIT_NETWORK_WEST, SPLIT_NETWORK_EAST),
+            scenario.snapshot_date,
+        )
+        assert analysis.complementary
+        assert not any(analysis.connected_alone.values())
+        assert analysis.joint_latency_ms == pytest.approx(3.967, abs=0.01)
+
+    def test_unrelated_pair_is_not_complementary(self, scenario):
+        analysis = joint_analysis(
+            scenario.database,
+            scenario.corridor,
+            ("Great Lakes Wave", "Prairie Wireless Transit"),
+            scenario.snapshot_date,
+        )
+        assert not analysis.complementary
+
+    def test_joining_a_connected_network_is_not_complementary(self, scenario):
+        analysis = joint_analysis(
+            scenario.database,
+            scenario.corridor,
+            ("New Line Networks", SPLIT_NETWORK_WEST),
+            scenario.snapshot_date,
+        )
+        assert analysis.jointly_connected  # NLN alone suffices
+        assert not analysis.complementary
+
+    def test_requires_two_licensees(self, scenario):
+        with pytest.raises(ValueError):
+            joint_analysis(
+                scenario.database,
+                scenario.corridor,
+                ("New Line Networks",),
+                scenario.snapshot_date,
+            )
+
+
+class TestResolveEntities:
+    def test_finds_exactly_the_planted_entity(self, scenario):
+        resolved = resolve_entities(
+            scenario.database, scenario.corridor, scenario.snapshot_date
+        )
+        assert len(resolved) == 1
+        entity = resolved[0]
+        assert set(entity.licensees) == {SPLIT_NETWORK_WEST, SPLIT_NETWORK_EAST}
+        assert entity.domain == SPLIT_NETWORK_EMAIL.rpartition("@")[2]
+        assert entity.analysis.joint_latency_ms is not None
+
+    def test_hidden_network_would_rank_midpack(self, scenario):
+        # The joint Tradewave network slots between JM (3.96597) and
+        # BC (3.96940) — invisible to the paper's per-licensee Table 1.
+        (entity,) = resolve_entities(
+            scenario.database, scenario.corridor, scenario.snapshot_date
+        )
+        assert 3.96597 < entity.analysis.joint_latency_ms < 3.96940
+
+
+class TestComplementaryPairs:
+    def test_geometric_search_finds_the_pair(self, scenario):
+        result = run_scraping_funnel(
+            scenario.database, scenario.corridor, scenario.snapshot_date
+        )
+        not_connected = [
+            name
+            for name in result.shortlisted_licensees
+            if name not in result.connected_licensees
+        ]
+        candidates = not_connected + [SPLIT_NETWORK_EAST]
+        pairs = complementary_pairs(
+            scenario.database,
+            scenario.corridor,
+            candidates,
+            scenario.snapshot_date,
+        )
+        assert any(
+            set(p.licensees) == {SPLIT_NETWORK_WEST, SPLIT_NETWORK_EAST}
+            for p in pairs
+        )
+
+    def test_connected_members_are_skipped(self, scenario):
+        pairs = complementary_pairs(
+            scenario.database,
+            scenario.corridor,
+            ["New Line Networks", "Webline Holdings"],
+            scenario.snapshot_date,
+        )
+        assert pairs == []

@@ -1,0 +1,61 @@
+"""Tests for the race-over-time analysis (§3's "rankings in flux")."""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import pytest
+
+from repro.analysis.flux import race_history
+
+
+@pytest.fixture(scope="module")
+def history(scenario):
+    return race_history(scenario)
+
+
+class TestRaceHistory:
+    def test_leadership_changes_hands(self, history):
+        # NTC leads early, WH mid-decade, NLN from 2018: at least two
+        # changes — the race is in flux.
+        assert history.leadership_changes >= 2
+
+    def test_final_leader_is_nln(self, history):
+        assert history.snapshots[-1].leader == "New Line Networks"
+
+    def test_early_leader_is_ntc(self, history):
+        by_date = dict(history.leaders)
+        assert by_date[dt.date(2013, 1, 1)] == "National Tower Company"
+
+    def test_bound_never_reached(self, history):
+        # §4: the minimum achievable latency has not been reached.
+        for _, gap in history.gap_to_bound_us():
+            if gap is not None:
+                assert gap > 0.0
+
+    def test_gap_shrinks_monotonically(self, history):
+        gaps = [gap for _, gap in history.gap_to_bound_us() if gap is not None]
+        assert all(a >= b - 1e-9 for a, b in zip(gaps, gaps[1:]))
+        # From ~46 µs over the bound in 2013 to ~5.6 µs in 2020.
+        assert gaps[0] > 40.0
+        assert gaps[-1] == pytest.approx(5.65, abs=0.3)
+
+    def test_rank_trajectory_of_wh(self, history):
+        trajectory = dict(history.rank_of("Webline Holdings"))
+        # WH is never rank 1 after NLN connects, but always present.
+        assert all(rank is not None for rank in trajectory.values())
+        assert trajectory[dt.date(2020, 4, 1)] == 5
+
+    def test_rank_trajectory_of_dead_network(self, history):
+        trajectory = dict(history.rank_of("National Tower Company"))
+        assert trajectory[dt.date(2016, 1, 1)] is not None
+        assert trajectory[dt.date(2019, 1, 1)] is None
+
+    def test_custom_licensee_subset(self, scenario):
+        history = race_history(
+            scenario, licensees=["New Line Networks", "Webline Holdings"]
+        )
+        assert history.snapshots[-1].order == (
+            "New Line Networks",
+            "Webline Holdings",
+        )

@@ -1,0 +1,114 @@
+"""Tests for polyline geometry."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geodesy import (
+    GeoPoint,
+    cross_track_distance,
+    cumulative_distances,
+    geodesic_distance,
+    geodesic_interpolate,
+    nearest_point_index,
+    polyline_length,
+    stretch_factor,
+)
+from repro.geodesy.path import offset_point
+
+A = GeoPoint(41.7580, -88.1801)
+B = GeoPoint(40.7773, -74.0700)
+
+
+class TestPolylineLength:
+    def test_empty_and_single(self):
+        assert polyline_length([]) == 0.0
+        assert polyline_length([A]) == 0.0
+
+    def test_two_points_equals_geodesic(self):
+        assert polyline_length([A, B]) == pytest.approx(geodesic_distance(A, B))
+
+    def test_subdivision_preserves_length(self):
+        mids = geodesic_interpolate(A, B, [0.25, 0.5, 0.75])
+        subdivided = polyline_length([A, *mids, B])
+        assert subdivided == pytest.approx(geodesic_distance(A, B), rel=1e-6)
+
+    def test_detour_is_longer(self):
+        detour = offset_point(A, B, 0.5, 50_000.0)
+        assert polyline_length([A, detour, B]) > geodesic_distance(A, B)
+
+
+class TestCumulative:
+    def test_starts_at_zero_monotone(self):
+        mids = geodesic_interpolate(A, B, [0.3, 0.6])
+        cumulative = cumulative_distances([A, *mids, B])
+        assert cumulative[0] == 0.0
+        assert all(x < y for x, y in zip(cumulative, cumulative[1:]))
+        assert cumulative[-1] == pytest.approx(polyline_length([A, *mids, B]))
+
+    def test_empty(self):
+        assert cumulative_distances([]) == []
+
+
+class TestStretchFactor:
+    def test_straight_is_one(self):
+        mids = geodesic_interpolate(A, B, [0.5])
+        assert stretch_factor([A, *mids, B]) == pytest.approx(1.0, abs=1e-9)
+
+    def test_raises_for_degenerate(self):
+        with pytest.raises(ValueError):
+            stretch_factor([A])
+        with pytest.raises(ValueError):
+            stretch_factor([A, A])
+
+    @given(st.floats(min_value=1_000.0, max_value=100_000.0))
+    @settings(max_examples=30, deadline=None)
+    def test_grows_with_lateral_offset(self, lateral):
+        small = stretch_factor([A, offset_point(A, B, 0.5, lateral / 2.0), B])
+        large = stretch_factor([A, offset_point(A, B, 0.5, lateral), B])
+        assert 1.0 < small < large
+
+
+class TestInterpolate:
+    def test_endpoints(self):
+        points = geodesic_interpolate(A, B, [0.0, 1.0])
+        assert points[0].rounded(9) == A.rounded(9)
+        assert geodesic_distance(points[1], B) < 0.01
+
+    def test_fractions_divide_distance(self):
+        (midpoint,) = geodesic_interpolate(A, B, [0.5])
+        d = geodesic_distance(A, B)
+        assert geodesic_distance(A, midpoint) == pytest.approx(d / 2.0, rel=1e-6)
+
+    def test_extrapolation_beyond_one(self):
+        (beyond,) = geodesic_interpolate(A, B, [1.1])
+        assert geodesic_distance(A, beyond) > geodesic_distance(A, B)
+
+
+class TestOffsetAndCrossTrack:
+    def test_offset_is_perpendicular(self):
+        lateral = 10_000.0
+        point = offset_point(A, B, 0.5, lateral)
+        assert cross_track_distance(point, A, B) == pytest.approx(lateral, rel=0.01)
+
+    def test_zero_offset_on_path(self):
+        point = offset_point(A, B, 0.5, 0.0)
+        assert cross_track_distance(point, A, B) < 5.0
+
+    def test_sign_selects_side(self):
+        left = offset_point(A, B, 0.5, -5_000.0)
+        right = offset_point(A, B, 0.5, 5_000.0)
+        assert geodesic_distance(left, right) == pytest.approx(10_000.0, rel=0.01)
+
+
+class TestNearestPointIndex:
+    def test_finds_closest_vertex(self):
+        points = geodesic_interpolate(A, B, [0.0, 0.25, 0.5, 0.75, 1.0])
+        (probe,) = geodesic_interpolate(A, B, [0.52])
+        assert nearest_point_index(probe, points) == 2
+
+    def test_raises_on_empty(self):
+        with pytest.raises(ValueError):
+            nearest_point_index(A, [])

@@ -1,0 +1,183 @@
+"""Tests for the LEO constellation substrate and the Fig 5 model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.constants import SPEED_OF_LIGHT
+from repro.geodesy import GeoPoint, geodesic_distance
+from repro.geodesy.earth import EARTH_MEAN_RADIUS_M
+from repro.leo.constellation import (
+    LOW_SHELL,
+    STARLINK_SHELL,
+    Constellation,
+    WalkerShell,
+    ecef_of,
+)
+from repro.leo.isl import isl_graph
+from repro.leo.latency import (
+    constellation_latency_s,
+    fiber_latency_s,
+    leo_fiber_crossover_km,
+    leo_lower_bound_s,
+    microwave_latency_s,
+    sweep_distances,
+    transatlantic_endpoints,
+)
+
+CME = GeoPoint(41.7580, -88.1801)
+NY4 = GeoPoint(40.7773, -74.0700)
+
+SMALL_SHELL = WalkerShell(
+    altitude_m=550_000.0, inclination_deg=53.0, n_planes=12, sats_per_plane=8
+)
+
+
+class TestShell:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WalkerShell(-1.0, 53.0, 10, 10)
+        with pytest.raises(ValueError):
+            WalkerShell(550_000.0, 53.0, 0, 10)
+        with pytest.raises(ValueError):
+            WalkerShell(550_000.0, 53.0, 10, 10, phase_factor=10)
+
+    def test_orbital_period_plausible(self):
+        # 550 km circular orbit: ~95.6 minutes.
+        assert STARLINK_SHELL.orbital_period_s == pytest.approx(95.6 * 60.0, rel=0.01)
+
+    def test_total_satellites(self):
+        assert STARLINK_SHELL.total_satellites == 72 * 22
+
+
+class TestConstellation:
+    def test_all_satellites_on_shell(self):
+        constellation = Constellation(SMALL_SHELL)
+        radius = SMALL_SHELL.orbital_radius_m
+        for sat in constellation.satellites:
+            assert math.sqrt(sat.x**2 + sat.y**2 + sat.z**2) == pytest.approx(
+                radius, rel=1e-9
+            )
+
+    def test_inclination_bounds_latitude(self):
+        constellation = Constellation(SMALL_SHELL)
+        max_z = max(abs(sat.z) for sat in constellation.satellites)
+        limit = SMALL_SHELL.orbital_radius_m * math.sin(math.radians(53.0))
+        assert max_z <= limit * 1.000001
+
+    def test_epoch_moves_satellites(self):
+        at_zero = Constellation(SMALL_SHELL, epoch_s=0.0).satellite(0, 0)
+        later = Constellation(SMALL_SHELL, epoch_s=120.0).satellite(0, 0)
+        assert (at_zero.x, at_zero.y, at_zero.z) != (later.x, later.y, later.z)
+
+    def test_visibility_respects_elevation_mask(self):
+        constellation = Constellation(Constellation(SMALL_SHELL).shell)
+        loose = constellation.visible_from(CME, min_elevation_deg=10.0)
+        strict = constellation.visible_from(CME, min_elevation_deg=60.0)
+        assert len(loose) >= len(strict)
+        for _, slant in loose:
+            assert slant >= SMALL_SHELL.altitude_m * 0.999
+
+    def test_ecef_ground_radius(self):
+        x, y, z = ecef_of(CME)
+        assert math.sqrt(x * x + y * y + z * z) == pytest.approx(EARTH_MEAN_RADIUS_M)
+
+
+class TestIslGraph:
+    def test_plus_grid_degree_four(self):
+        graph = isl_graph(Constellation(SMALL_SHELL))
+        assert graph.number_of_nodes() == SMALL_SHELL.total_satellites
+        degrees = {degree for _, degree in graph.degree()}
+        assert degrees == {4}
+
+    def test_edge_count(self):
+        graph = isl_graph(Constellation(SMALL_SHELL))
+        assert graph.number_of_edges() == 2 * SMALL_SHELL.total_satellites
+
+    def test_latency_consistent_with_length(self):
+        graph = isl_graph(Constellation(SMALL_SHELL))
+        for _, _, data in list(graph.edges(data=True))[:10]:
+            assert data["latency_s"] == pytest.approx(
+                data["length_m"] / SPEED_OF_LIGHT
+            )
+
+    def test_intra_plane_spacing_uniform(self):
+        constellation = Constellation(SMALL_SHELL)
+        graph = isl_graph(constellation)
+        a = constellation.satellite(0, 0)
+        b = constellation.satellite(0, 1)
+        expected = 2.0 * SMALL_SHELL.orbital_radius_m * math.sin(
+            math.pi / SMALL_SHELL.sats_per_plane
+        )
+        assert graph.edges[a.key, b.key]["length_m"] == pytest.approx(expected, rel=1e-9)
+
+
+class TestLatencyModels:
+    def test_microwave_beats_leo_on_land(self):
+        # Fig 5: at terrestrial scales (the corridor is ~1,200 km; even a
+        # transcontinental path is <7,000 km) the up/down overhead keeps
+        # LEO behind line-of-sight microwave.
+        for point in sweep_distances([500.0, 1186.0, 5000.0, 6500.0]):
+            assert point.microwave_beats_leo
+
+    def test_leo_beats_fiber_beyond_crossover(self):
+        crossover = leo_fiber_crossover_km(550_000.0)
+        assert 400.0 < crossover < 2_000.0
+        points = sweep_distances([crossover * 0.8, crossover * 1.2])
+        assert points[0].fiber_ms < points[0].leo_550_ms
+        assert points[1].leo_550_ms < points[1].fiber_ms
+        # The lower shell crosses over even earlier.
+        assert leo_fiber_crossover_km(300_000.0) < crossover
+
+    def test_lower_altitude_is_faster(self):
+        (point,) = sweep_distances([5_000.0])
+        assert point.leo_300_ms < point.leo_550_ms
+
+    def test_leo_bound_includes_up_down_overhead(self):
+        bound_s = leo_lower_bound_s(0.0, 550_000.0)
+        assert bound_s == pytest.approx(2.0 * 550_000.0 / SPEED_OF_LIGHT)
+
+    def test_exact_route_respects_lower_bound(self):
+        constellation = Constellation(STARLINK_SHELL)
+        exact = constellation_latency_s(constellation, CME, NY4)
+        assert exact is not None
+        assert exact >= leo_lower_bound_s(geodesic_distance(CME, NY4), 550_000.0)
+
+    def test_corridor_comparison_matches_fig5(self):
+        # Fig 5's claim: even the best LEO path loses to terrestrial MW on
+        # the Chicago-NJ corridor.
+        constellation = Constellation(STARLINK_SHELL)
+        exact = constellation_latency_s(constellation, CME, NY4)
+        mw = microwave_latency_s(geodesic_distance(CME, NY4))
+        assert exact > mw
+
+    def test_transatlantic_leo_beats_fiber(self):
+        # §6: for Frankfurt-Washington, LEO beats today's fiber.
+        frankfurt, washington = transatlantic_endpoints()
+        constellation = Constellation(STARLINK_SHELL)
+        exact = constellation_latency_s(constellation, frankfurt, washington)
+        fiber = fiber_latency_s(geodesic_distance(frankfurt, washington))
+        assert exact < fiber
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            microwave_latency_s(-1.0)
+        with pytest.raises(ValueError):
+            microwave_latency_s(1.0, stretch=0.9)
+        with pytest.raises(ValueError):
+            fiber_latency_s(-1.0)
+        with pytest.raises(ValueError):
+            leo_lower_bound_s(100.0, 0.0)
+
+    def test_no_visibility_returns_none(self):
+        # A tiny sparse shell leaves most ground points uncovered at a
+        # strict elevation mask.
+        sparse = Constellation(
+            WalkerShell(550_000.0, 53.0, n_planes=2, sats_per_plane=2)
+        )
+        result = constellation_latency_s(
+            sparse, CME, NY4, min_elevation_deg=80.0
+        )
+        assert result is None

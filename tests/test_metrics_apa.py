@@ -1,0 +1,105 @@
+"""Tests for alternate path availability on controlled topologies."""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import pytest
+
+from repro.core.corridor import DataCenterSite
+from repro.core.network import FiberTail, HftNetwork, MicrowaveLink, Tower
+from repro.geodesy import GeoPoint, geodesic_distance, geodesic_interpolate
+from repro.geodesy.path import offset_point
+from repro.metrics.apa import alternate_path_availability, apa_percent, latency_bound_s
+
+WEST = DataCenterSite("CME", GeoPoint(41.7580, -88.1801))
+EAST = DataCenterSite("NY4", GeoPoint(40.7773, -74.0700))
+
+
+def _network(n_links: int = 10, bypassed: tuple[int, ...] = (), stretch_amp: float = 0.0):
+    """A corridor chain with optional parallel bypasses of given links."""
+    margin = 0.001
+    fractions = [margin + f * (1 - 2 * margin) / n_links for f in range(n_links + 1)]
+    chain = geodesic_interpolate(WEST.point, EAST.point, fractions)
+    towers = [Tower(f"t{i}", p) for i, p in enumerate(chain)]
+    links = [
+        MicrowaveLink(f"t{i}", f"t{i+1}", geodesic_distance(a, b))
+        for i, (a, b) in enumerate(zip(chain, chain[1:]))
+    ]
+    for index in bypassed:
+        b_point = offset_point(chain[index], chain[index + 1], 0.5, 5_000.0 + stretch_amp)
+        towers.append(Tower(f"b{index}", b_point))
+        links.append(
+            MicrowaveLink(f"t{index}", f"b{index}", geodesic_distance(chain[index], b_point))
+        )
+        links.append(
+            MicrowaveLink(
+                f"b{index}", f"t{index+1}", geodesic_distance(b_point, chain[index + 1])
+            )
+        )
+    tails = [
+        FiberTail("CME", "t0", geodesic_distance(WEST.point, chain[0])),
+        FiberTail("NY4", f"t{n_links}", geodesic_distance(EAST.point, chain[-1])),
+    ]
+    return HftNetwork(
+        "Demo", dt.date(2020, 4, 1), towers, links, tails, [WEST, EAST]
+    )
+
+
+class TestApa:
+    def test_pure_chain_scores_zero(self):
+        assert alternate_path_availability(_network(), "CME", "NY4") == 0.0
+
+    def test_fully_bypassed_chain_scores_one(self):
+        network = _network(n_links=6, bypassed=tuple(range(6)))
+        assert alternate_path_availability(network, "CME", "NY4") == 1.0
+
+    def test_partial_coverage_fraction(self):
+        network = _network(n_links=10, bypassed=(2, 5, 7))
+        assert alternate_path_availability(network, "CME", "NY4") == pytest.approx(0.3)
+        assert apa_percent(network, "CME", "NY4") == 30
+
+    def test_disconnected_network_scores_zero(self):
+        network = _network()
+        network.fiber_tails = network.fiber_tails[:1]
+        network.__dict__.pop("graph", None)
+        assert alternate_path_availability(network, "CME", "NY4") == 0.0
+
+    def test_over_bound_network_scores_zero_even_with_bypasses(self):
+        # A network whose intact latency exceeds 1.05x the geodesic bound
+        # scores 0 regardless of redundancy (Table 1's slow networks).
+        network = _network(n_links=6, bypassed=tuple(range(6)))
+        bound = latency_bound_s(network, "CME", "NY4", slack=1.0000001)
+        assert alternate_path_availability(
+            network, "CME", "NY4", slack=1.0000001
+        ) == 0.0
+
+    def test_slack_monotonicity(self):
+        network = _network(n_links=10, bypassed=(2, 5))
+        loose = alternate_path_availability(network, "CME", "NY4", slack=1.10)
+        tight = alternate_path_availability(network, "CME", "NY4", slack=1.02)
+        assert loose >= tight
+
+    def test_network_scope_counts_all_links(self):
+        # Scope "network" also counts the bypass links themselves (each is
+        # removable: the direct link remains), so the fraction rises.
+        network = _network(n_links=10, bypassed=(2,))
+        route_scope = alternate_path_availability(network, "CME", "NY4", scope="route")
+        network_scope = alternate_path_availability(
+            network, "CME", "NY4", scope="network"
+        )
+        assert network_scope > route_scope
+
+    def test_rejects_unknown_scope(self):
+        with pytest.raises(ValueError):
+            alternate_path_availability(_network(), "CME", "NY4", scope="bogus")
+
+    def test_rejects_nonpositive_slack(self):
+        with pytest.raises(ValueError):
+            latency_bound_s(_network(), "CME", "NY4", slack=0.0)
+
+    def test_bound_is_slack_times_geodesic(self):
+        network = _network()
+        bound = latency_bound_s(network, "CME", "NY4", slack=1.05)
+        geodesic = geodesic_distance(WEST.point, EAST.point)
+        assert bound == pytest.approx(1.05 * geodesic / 299_792_458.0)

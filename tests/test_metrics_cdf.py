@@ -1,0 +1,86 @@
+"""Tests for empirical CDF utilities."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.cdf import EmpiricalCdf, cdf_series
+
+samples = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=200,
+)
+
+
+class TestBasics:
+    def test_requires_values(self):
+        with pytest.raises(ValueError):
+            EmpiricalCdf([])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            EmpiricalCdf([1.0, float("nan")])
+
+    def test_simple_quartiles(self):
+        cdf = EmpiricalCdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf(0.5) == 0.0
+        assert cdf(1.0) == 0.25
+        assert cdf(2.5) == 0.5
+        assert cdf(4.0) == 1.0
+        assert cdf(9.0) == 1.0
+
+    def test_median_definitions(self):
+        assert EmpiricalCdf([1, 2, 3]).median == 2
+        assert EmpiricalCdf([1, 2, 3, 4]).median == 2  # lower median
+
+    def test_quantile_bounds(self):
+        cdf = EmpiricalCdf([5.0])
+        with pytest.raises(ValueError):
+            cdf.quantile(0.0)
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+        assert cdf.quantile(1.0) == 5.0
+
+    def test_fraction_below_strict_vs_at_most(self):
+        cdf = EmpiricalCdf([6.0, 6.0, 11.0, 11.0])
+        assert cdf.fraction_below(6.0) == 0.0
+        assert cdf.fraction_at_most(6.0) == 0.5
+        assert cdf.fraction_below(7.0) == 0.5
+
+    def test_step_points_collapse_duplicates(self):
+        points = EmpiricalCdf([1.0, 1.0, 2.0]).step_points()
+        assert points == [(1.0, pytest.approx(2 / 3)), (2.0, pytest.approx(1.0))]
+
+    def test_cdf_series_helper(self):
+        assert cdf_series([3.0, 1.0]) == [(1.0, 0.5), (3.0, 1.0)]
+
+
+class TestProperties:
+    @given(samples)
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_and_bounded(self, values):
+        cdf = EmpiricalCdf(values)
+        probes = sorted(values)
+        evaluations = [cdf(x) for x in probes]
+        assert all(0.0 <= e <= 1.0 for e in evaluations)
+        assert all(a <= b for a, b in zip(evaluations, evaluations[1:]))
+        assert cdf(max(values)) == 1.0
+
+    @given(samples, st.floats(min_value=0.01, max_value=1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_quantile_inverts_cdf(self, values, q):
+        cdf = EmpiricalCdf(values)
+        value = cdf.quantile(q)
+        assert cdf(value) >= q
+        assert value in values
+
+    @given(samples)
+    @settings(max_examples=50, deadline=None)
+    def test_step_points_end_at_one(self, values):
+        points = EmpiricalCdf(values).step_points()
+        assert points[-1][1] == pytest.approx(1.0)
+        xs = [x for x, _ in points]
+        assert xs == sorted(set(xs))

@@ -1,0 +1,133 @@
+"""Tests for link-length / frequency metrics and rankings on the
+calibrated scenario (integration-level) and small fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.cdf import EmpiricalCdf
+from repro.metrics.frequencies import (
+    alternate_path_frequencies_ghz,
+    fraction_below_ghz,
+    frequency_cdf,
+    shortest_path_frequencies_ghz,
+)
+from repro.metrics.link_lengths import (
+    link_length_cdf,
+    median_link_length_km,
+    near_optimal_link_lengths_km,
+)
+from repro.metrics.rankings import latency_gap_us, rank_connected_networks
+
+
+class TestLinkLengths:
+    def test_methods_agree_on_nln(self, nln_network):
+        by_edges = sorted(near_optimal_link_lengths_km(nln_network, "CME", "NY4"))
+        by_enumeration = sorted(
+            near_optimal_link_lengths_km(
+                nln_network, "CME", "NY4", method="enumerate"
+            )
+        )
+        assert by_edges == pytest.approx(by_enumeration)
+
+    def test_unknown_method_rejected(self, nln_network):
+        with pytest.raises(ValueError):
+            near_optimal_link_lengths_km(nln_network, "CME", "NY4", method="magic")
+
+    def test_fig4a_medians_match_paper_shape(self, nln_network, wh_network):
+        nln_median = median_link_length_km(nln_network, "CME", "NY4")
+        wh_median = median_link_length_km(wh_network, "CME", "NY4")
+        # Paper: WH 36 km is ~26% lower than NLN 48.5 km.
+        assert wh_median < nln_median
+        assert nln_median == pytest.approx(48.5, abs=2.5)
+        assert wh_median == pytest.approx(36.0, abs=2.5)
+
+    def test_lengths_include_bypass_links(self, nln_network):
+        lengths = near_optimal_link_lengths_km(nln_network, "CME", "NY4")
+        route = nln_network.lowest_latency_route("CME", "NY4")
+        mw_hops = sum(
+            1
+            for u, v in zip(route.nodes, route.nodes[1:])
+            if nln_network.graph.edges[u, v]["medium"] == "microwave"
+        )
+        assert len(lengths) > mw_hops  # alternates contribute
+
+    def test_cdf_raises_when_no_links(self, scenario, reconstructor):
+        network = reconstructor.reconstruct(
+            [], scenario.snapshot_date, licensee="Empty"
+        )
+        with pytest.raises(ValueError):
+            link_length_cdf(network, "CME", "NY4")
+
+
+class TestFrequencies:
+    def test_nln_trunk_is_11ghz(self, nln_network):
+        freqs = shortest_path_frequencies_ghz(nln_network, "CME", "NY4")
+        assert freqs
+        assert all(10.5 <= f <= 12.0 for f in freqs)
+
+    def test_wh_mostly_under_7ghz(self, wh_network):
+        freqs = shortest_path_frequencies_ghz(wh_network, "CME", "NY4")
+        assert fraction_below_ghz(freqs, 7.0) >= 0.94  # paper: "more than 94%"
+
+    def test_nln_alternate_has_6ghz_share(self, nln_network):
+        freqs = alternate_path_frequencies_ghz(nln_network, "CME", "NY4")
+        assert fraction_below_ghz(freqs, 7.0) >= 0.18  # paper: "at least 18%"
+
+    def test_alternate_and_shortest_disjoint_edges(self, nln_network):
+        # Frequencies exist for both, and the alternate sample is not
+        # simply the shortest-path sample again.
+        shortest = shortest_path_frequencies_ghz(nln_network, "CME", "NY4")
+        alternate = alternate_path_frequencies_ghz(nln_network, "CME", "NY4")
+        assert shortest and alternate
+        assert min(alternate) < min(shortest)  # 6 GHz appears only off-path
+
+    def test_disconnected_network_yields_empty(self, scenario, reconstructor):
+        network = reconstructor.reconstruct(
+            [], scenario.snapshot_date, licensee="Empty"
+        )
+        assert shortest_path_frequencies_ghz(network, "CME", "NY4") == []
+        assert alternate_path_frequencies_ghz(network, "CME", "NY4") == []
+
+    def test_frequency_cdf_requires_data(self):
+        with pytest.raises(ValueError):
+            frequency_cdf([])
+        cdf = frequency_cdf([6.0, 11.0])
+        assert isinstance(cdf, EmpiricalCdf)
+
+
+class TestRankings:
+    def test_rankings_sorted_by_latency(self, scenario):
+        rankings = rank_connected_networks(
+            scenario.database, scenario.corridor, scenario.snapshot_date
+        )
+        latencies = [r.latency_ms for r in rankings]
+        assert latencies == sorted(latencies)
+
+    def test_restricting_licensees(self, scenario):
+        rankings = rank_connected_networks(
+            scenario.database,
+            scenario.corridor,
+            scenario.snapshot_date,
+            licensees=["New Line Networks", "Webline Holdings", "Great Lakes Wave"],
+        )
+        assert [r.licensee for r in rankings] == [
+            "New Line Networks",
+            "Webline Holdings",
+        ]
+
+    def test_latency_gap_us(self, scenario):
+        rankings = rank_connected_networks(
+            scenario.database, scenario.corridor, scenario.snapshot_date
+        )
+        gap = latency_gap_us(rankings[0], rankings[1])
+        # Paper: NLN leads PB by ~0.4 us on CME-NY4.
+        assert gap == pytest.approx(0.38, abs=0.15)
+
+    def test_as_row(self, scenario):
+        ranking = rank_connected_networks(
+            scenario.database, scenario.corridor, scenario.snapshot_date
+        )[0]
+        row = ranking.as_row()
+        assert row[0] == "New Line Networks"
+        assert isinstance(row[1], float)

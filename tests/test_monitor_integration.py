@@ -1,0 +1,156 @@
+"""Tests for the corridor diff monitor, plus end-to-end integration and
+property tests over the transaction layer."""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.monitor import diff_corridor
+from repro.analysis.tables import table1_connected_networks
+from repro.core.reconstruction import NetworkReconstructor
+from repro.metrics.rankings import rank_connected_networks
+from repro.uls.database import UlsDatabase
+from repro.uls.dumpio import read_uls_dump, write_uls_dump
+from repro.uls.transactions import (
+    apply_transactions,
+    snapshot_database,
+    transactions_between,
+)
+from tests.conftest import make_license
+
+
+class TestCorridorDiff:
+    @pytest.fixture(scope="class")
+    def diff_2015_2016(self, scenario):
+        return diff_corridor(
+            scenario.database,
+            scenario.corridor,
+            dt.date(2015, 1, 1),
+            dt.date(2016, 1, 1),
+            licensees=list(scenario.featured_names),
+        )
+
+    def test_nln_newly_connected_in_2015(self, diff_2015_2016):
+        assert "New Line Networks" in diff_2015_2016.newly_connected
+
+    def test_event_counts_positive(self, diff_2015_2016):
+        assert diff_2015_2016.grants > 0
+        assert diff_2015_2016.cancellations >= 0
+
+    def test_improvers_move_down(self, scenario):
+        diff = diff_corridor(
+            scenario.database,
+            scenario.corridor,
+            dt.date(2017, 1, 1),
+            dt.date(2018, 1, 1),
+            licensees=["Webline Holdings", "New Line Networks"],
+        )
+        movers = {c.licensee: c for c in diff.movers}
+        assert movers["New Line Networks"].kind == "improved"
+        assert movers["New Line Networks"].delta_us < -1.0
+
+    def test_ntc_disconnects_during_wind_down(self, scenario):
+        diff = diff_corridor(
+            scenario.database,
+            scenario.corridor,
+            dt.date(2016, 1, 1),
+            dt.date(2018, 1, 1),
+            licensees=["National Tower Company"],
+        )
+        assert "National Tower Company" in diff.newly_disconnected
+
+    def test_pb_appears_as_new_licensee(self, scenario):
+        diff = diff_corridor(
+            scenario.database,
+            scenario.corridor,
+            dt.date(2019, 1, 1),
+            scenario.snapshot_date,
+            licensees=["Pierce Broadband"],
+        )
+        assert "Pierce Broadband" in diff.new_licensees
+        assert "Pierce Broadband" in diff.newly_connected
+
+
+class TestEndToEndViaDumpFiles:
+    def test_dump_roundtrip_preserves_table1(self, scenario, tmp_path):
+        """Write the whole scenario to a ULS dump on disk, read it back,
+        and reproduce Table 1 bit-for-bit (to 5 decimals of ms)."""
+        path = tmp_path / "corridor.uls"
+        write_uls_dump(iter(scenario.database), path)
+        reread = UlsDatabase(read_uls_dump(path))
+        assert len(reread) == len(scenario.database)
+        original = [
+            (r.licensee, round(r.latency_ms, 5), r.apa_percent, r.tower_count)
+            for r in table1_connected_networks(scenario)
+        ]
+        replayed = [
+            (r.licensee, round(r.latency_ms, 5), r.apa_percent, r.tower_count)
+            for r in rank_connected_networks(
+                reread, scenario.corridor, scenario.snapshot_date
+            )
+        ]
+        assert replayed == original
+
+    def test_snapshot_plus_log_preserves_table1(self, scenario):
+        base = snapshot_database(scenario.database, dt.date(2016, 1, 1))
+        log = transactions_between(
+            scenario.database, dt.date(2016, 1, 1), scenario.snapshot_date
+        )
+        apply_transactions(base, log)
+        replayed = [
+            (r.licensee, round(r.latency_ms, 5))
+            for r in rank_connected_networks(
+                base, scenario.corridor, scenario.snapshot_date
+            )
+        ]
+        original = [
+            (r.licensee, round(r.latency_ms, 5))
+            for r in table1_connected_networks(scenario)
+        ]
+        assert replayed == original
+
+
+@st.composite
+def license_histories(draw):
+    """A small random licensee history (grants and optional endings)."""
+    n = draw(st.integers(2, 12))
+    licenses = []
+    for index in range(n):
+        grant = dt.date(2012, 1, 1) + dt.timedelta(days=draw(st.integers(0, 2500)))
+        ending = draw(st.sampled_from(["none", "cancel", "terminate"]))
+        kwargs = {}
+        if ending == "cancel":
+            kwargs["cancellation"] = grant + dt.timedelta(
+                days=draw(st.integers(1, 2000))
+            )
+        elif ending == "terminate":
+            kwargs["termination"] = grant + dt.timedelta(
+                days=draw(st.integers(1, 2000))
+            )
+        licenses.append(make_license(f"R{index:03d}", grant=grant, **kwargs))
+    return licenses
+
+
+class TestTransactionProperties:
+    @given(license_histories(), st.integers(0, 2600), st.integers(1, 1200))
+    @settings(max_examples=40, deadline=None)
+    def test_snapshot_plus_log_invariant(self, licenses, offset, span):
+        """snapshot(t0) + transactions(t0, t1] has the same active set as
+        the ground truth at every probe date ≤ t1."""
+        database = UlsDatabase(licenses)
+        t0 = dt.date(2012, 1, 1) + dt.timedelta(days=offset)
+        t1 = t0 + dt.timedelta(days=span)
+        replayed = apply_transactions(
+            snapshot_database(database, t0), transactions_between(database, t0, t1)
+        )
+        for probe_days in (0, span // 2, span):
+            probe = t0 + dt.timedelta(days=probe_days)
+            expected = {
+                lic.license_id for lic in database.active_on(probe)
+            }
+            actual = {lic.license_id for lic in replayed.active_on(probe)}
+            assert actual == expected, probe

@@ -1,0 +1,184 @@
+"""Tests for the microwave radio engineering substrate."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.radio.availability import (
+    link_availability,
+    link_is_up,
+    rain_rate_to_kill_link_mm_h,
+)
+from repro.radio.budget import (
+    LinkBudget,
+    first_fresnel_radius_m,
+    free_space_path_loss_db,
+)
+from repro.radio.itu import (
+    effective_path_length_km,
+    percent_time_for_attenuation,
+    rain_attenuation_db,
+    rain_exceedance_attenuation_db,
+    specific_attenuation_db_per_km,
+)
+
+freq = st.floats(min_value=4.0, max_value=30.0)
+rain = st.floats(min_value=0.1, max_value=200.0)
+
+
+class TestSpecificAttenuation:
+    def test_dry_air_is_lossless(self):
+        assert specific_attenuation_db_per_km(11.0, 0.0) == 0.0
+
+    def test_reference_magnitudes(self):
+        # Standard engineering sanity values (P.838 at R=42 mm/h):
+        # 6 GHz well under 1 dB/km; 23 GHz several dB/km.
+        assert specific_attenuation_db_per_km(6.0, 42.0) < 0.5
+        assert specific_attenuation_db_per_km(23.0, 42.0) > 3.0
+
+    @given(freq, rain)
+    @settings(max_examples=60, deadline=None)
+    def test_increasing_in_rain(self, frequency, rate):
+        low = specific_attenuation_db_per_km(frequency, rate)
+        high = specific_attenuation_db_per_km(frequency, rate * 1.5)
+        assert high > low > 0.0
+
+    @given(rain, st.floats(min_value=4.0, max_value=24.0))
+    @settings(max_examples=60, deadline=None)
+    def test_increasing_in_frequency(self, rate, frequency):
+        assert specific_attenuation_db_per_km(
+            frequency * 1.2, rate
+        ) > specific_attenuation_db_per_km(frequency, rate)
+
+    def test_frequency_range_enforced(self):
+        with pytest.raises(ValueError):
+            specific_attenuation_db_per_km(2.0, 10.0)
+        with pytest.raises(ValueError):
+            specific_attenuation_db_per_km(40.0, 10.0)
+
+    def test_table_interpolation_continuous(self):
+        # Values at and just off a table row agree closely.
+        at_row = specific_attenuation_db_per_km(8.0, 42.0)
+        near_row = specific_attenuation_db_per_km(8.01, 42.0)
+        assert near_row == pytest.approx(at_row, rel=0.02)
+
+
+class TestEffectivePathLength:
+    def test_short_paths_nearly_unchanged(self):
+        assert effective_path_length_km(1.0, 42.0) == pytest.approx(1.0, rel=0.06)
+
+    def test_long_paths_saturate(self):
+        d0 = 35.0 * math.exp(-0.015 * 42.0)
+        assert effective_path_length_km(1_000.0, 42.0) < d0 * 1.05
+
+    def test_monotone_in_distance(self):
+        assert effective_path_length_km(60.0, 42.0) > effective_path_length_km(30.0, 42.0)
+
+    def test_rate_capped_at_100(self):
+        assert effective_path_length_km(50.0, 150.0) == effective_path_length_km(
+            50.0, 100.0
+        )
+
+
+class TestExceedance:
+    def test_p001_identity(self):
+        a = rain_exceedance_attenuation_db(11.0, 50.0, 42.0, 0.01)
+        gamma = specific_attenuation_db_per_km(11.0, 42.0)
+        assert a == pytest.approx(gamma * effective_path_length_km(50.0, 42.0))
+
+    def test_rarer_exceedance_is_larger(self):
+        rare = rain_exceedance_attenuation_db(11.0, 50.0, 42.0, 0.001)
+        common = rain_exceedance_attenuation_db(11.0, 50.0, 42.0, 1.0)
+        assert rare > common
+
+    def test_percent_range_enforced(self):
+        with pytest.raises(ValueError):
+            rain_exceedance_attenuation_db(11.0, 50.0, 42.0, 2.0)
+
+    def test_inverse_roundtrip(self):
+        for percent in (0.003, 0.01, 0.1, 0.5):
+            attenuation = rain_exceedance_attenuation_db(11.0, 50.0, 42.0, percent)
+            recovered = percent_time_for_attenuation(11.0, 50.0, 42.0, attenuation)
+            assert recovered == pytest.approx(percent, rel=0.02)
+
+    def test_inverse_clamps(self):
+        assert percent_time_for_attenuation(11.0, 50.0, 42.0, 0.0) == 1.0
+        assert percent_time_for_attenuation(11.0, 50.0, 42.0, 1e9) == pytest.approx(
+            0.001
+        )
+
+
+class TestBudget:
+    def test_fspl_reference_value(self):
+        # 11 GHz over 50 km: 92.45 + 20log10(11) + 20log10(50) = 147.3 dB.
+        assert free_space_path_loss_db(11.0, 50.0) == pytest.approx(147.26, abs=0.05)
+
+    def test_fspl_inverse_square_distance(self):
+        assert free_space_path_loss_db(11.0, 100.0) - free_space_path_loss_db(
+            11.0, 50.0
+        ) == pytest.approx(20.0 * math.log10(2.0))
+
+    def test_margin_decreases_with_distance_and_frequency(self):
+        budget = LinkBudget()
+        assert budget.fade_margin_db(6.0, 30.0) > budget.fade_margin_db(6.0, 60.0)
+        assert budget.fade_margin_db(6.0, 30.0) > budget.fade_margin_db(18.0, 30.0)
+
+    def test_max_hop_consistency(self):
+        budget = LinkBudget()
+        max_hop = budget.max_hop_km(11.0, required_margin_db=30.0)
+        assert budget.fade_margin_db(11.0, max_hop) == pytest.approx(30.0, abs=0.01)
+
+    def test_fspl_validation(self):
+        with pytest.raises(ValueError):
+            free_space_path_loss_db(0.0, 50.0)
+        with pytest.raises(ValueError):
+            free_space_path_loss_db(11.0, -1.0)
+
+    def test_fresnel_radius(self):
+        # Mid-path at 11 GHz over 50 km: 17.32*sqrt(25*25/(11*50)) = 18.5 m.
+        radius = first_fresnel_radius_m(11.0, 25.0, 25.0)
+        assert radius == pytest.approx(18.47, abs=0.1)
+        # Largest at mid-path.
+        assert radius > first_fresnel_radius_m(11.0, 5.0, 45.0)
+
+    def test_fresnel_validation(self):
+        with pytest.raises(ValueError):
+            first_fresnel_radius_m(11.0, 0.0, 0.0)
+
+
+class TestAvailability:
+    def test_lower_frequency_more_available(self):
+        assert link_availability(6.0, 50.0) >= link_availability(18.0, 50.0)
+
+    def test_shorter_hop_more_available(self):
+        assert link_availability(18.0, 20.0) > link_availability(18.0, 70.0)
+
+    def test_clear_air_link_up(self):
+        assert link_is_up(11.0, 50.0, rain_rate_mm_h=0.0)
+
+    def test_severe_rain_kills_high_band(self):
+        assert not link_is_up(23.0, 50.0, rain_rate_mm_h=60.0)
+        assert link_is_up(6.0, 36.0, rain_rate_mm_h=60.0)
+
+    def test_kill_rate_ordering(self):
+        kill_6 = rain_rate_to_kill_link_mm_h(6.0, 50.0)
+        kill_23 = rain_rate_to_kill_link_mm_h(23.0, 50.0)
+        assert kill_23 < 20.0
+        assert kill_6 == math.inf or kill_6 > 200.0
+
+    def test_kill_rate_is_a_fixed_point(self):
+        rate = rain_rate_to_kill_link_mm_h(11.0, 60.0)
+        assert rate < math.inf
+        assert link_is_up(11.0, 60.0, rate * 0.98)
+        assert not link_is_up(11.0, 60.0, rate * 1.02)
+
+    def test_overlong_hop_is_dead(self):
+        # Beyond the clear-air maximum hop the margin is negative: with
+        # the default budget that is ~1,640 km at 23 GHz.
+        assert LinkBudget().fade_margin_db(23.0, 2_000.0) < 0.0
+        assert link_availability(23.0, 2_000.0) == 0.0
+        assert rain_rate_to_kill_link_mm_h(23.0, 2_000.0) == 0.0

@@ -1,0 +1,118 @@
+"""Tests for line-of-sight clearance and synthetic terrain."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geodesy import GeoPoint
+from repro.radio.clearance import (
+    ClearanceProfile,
+    SyntheticTerrain,
+    earth_bulge_m,
+    height_vs_hop_length,
+    required_antenna_height_m,
+)
+
+START = GeoPoint(41.3, -84.0)
+
+
+class TestTerrain:
+    def test_deterministic(self):
+        t1, t2 = SyntheticTerrain(7), SyntheticTerrain(7)
+        probe = GeoPoint(41.123, -85.456)
+        assert t1.elevation_m(probe) == t2.elevation_m(probe)
+
+    def test_bounded_relief(self):
+        terrain = SyntheticTerrain(3, base_m=220.0, amplitude_m=60.0)
+        for i in range(50):
+            point = GeoPoint(40.0 + i * 0.07, -88.0 + i * 0.13)
+            assert 160.0 <= terrain.elevation_m(point) <= 280.0
+
+    def test_smooth(self):
+        terrain = SyntheticTerrain(3)
+        a = terrain.elevation_m(GeoPoint(41.0, -85.0))
+        b = terrain.elevation_m(GeoPoint(41.0001, -85.0))  # ~11 m away
+        assert abs(a - b) < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticTerrain(amplitude_m=-1.0)
+        with pytest.raises(ValueError):
+            SyntheticTerrain(octaves=0)
+
+
+class TestEarthBulge:
+    def test_reference_value(self):
+        # Mid-point of a 64 km hop: 32e3^2 / (2 * 4/3 * 6371e3) = 60 m.
+        assert earth_bulge_m(32_000.0, 32_000.0) == pytest.approx(60.3, abs=0.5)
+
+    def test_zero_at_endpoints(self):
+        assert earth_bulge_m(0.0, 50_000.0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            earth_bulge_m(-1.0, 1.0)
+
+
+class TestRequiredHeight:
+    def test_plausible_magnitudes(self):
+        terrain = SyntheticTerrain(5)
+        end = START.destination(95.0, 48_500.0)
+        profile = required_antenna_height_m(START, end, 11.0, terrain)
+        # A ~48 km hop over rolling terrain needs a tall but buildable
+        # tower: bulge ~45 m + fresnel ~11 m + terrain swings.
+        assert 30.0 <= profile.required_height_m <= 250.0
+        assert profile.feasible
+
+    def test_height_grows_superlinearly_with_hop(self):
+        # On flat terrain the requirement is purely bulge + Fresnel, so
+        # the quadratic bulge term dominates; over real terrain local
+        # relief adds noise on top of this trend.
+        flat = SyntheticTerrain(5, amplitude_m=0.0)
+        profiles = height_vs_hop_length(
+            START, 95.0, [20.0, 40.0, 80.0], terrain=flat
+        )
+        heights = [p.required_height_m for p in profiles]
+        assert heights[0] < heights[1] < heights[2]
+        # The bulge term is quadratic: doubling the hop more than
+        # doubles the incremental height requirement.
+        assert heights[2] - heights[1] > heights[1] - heights[0]
+
+    def test_terrain_relief_perturbs_but_does_not_dwarf_geometry(self):
+        rough = height_vs_hop_length(START, 95.0, [80.0])[0]
+        flat = height_vs_hop_length(
+            START, 95.0, [80.0], terrain=SyntheticTerrain(0, amplitude_m=0.0)
+        )[0]
+        # Long hops are bulge-dominated: terrain changes the answer by
+        # less than the bulge itself (~120 m at 80 km).
+        assert abs(rough.required_height_m - flat.required_height_m) < 120.0
+
+    def test_lower_frequency_needs_more_clearance(self):
+        # F1 radius ~ 1/sqrt(f): 6 GHz needs a (slightly) taller tower
+        # than 18 GHz on the same hop.
+        terrain = SyntheticTerrain(5)
+        end = START.destination(95.0, 40_000.0)
+        low = required_antenna_height_m(START, end, 6.0, terrain)
+        high = required_antenna_height_m(START, end, 18.0, terrain)
+        assert low.required_height_m > high.required_height_m
+
+    def test_worst_obstacle_recorded(self):
+        terrain = SyntheticTerrain(5)
+        end = START.destination(95.0, 60_000.0)
+        profile = required_antenna_height_m(START, end, 11.0, terrain)
+        assert 0.0 < profile.worst_obstacle_fraction < 1.0
+
+    def test_validation(self):
+        terrain = SyntheticTerrain(5)
+        end = START.destination(95.0, 10_000.0)
+        with pytest.raises(ValueError):
+            required_antenna_height_m(START, end, 11.0, terrain, samples=2)
+        with pytest.raises(ValueError):
+            height_vs_hop_length(START, 95.0, [0.0])
+
+    def test_infeasible_hop_flagged(self):
+        profiles = height_vs_hop_length(START, 95.0, [150.0])
+        (profile,) = profiles
+        # A 150 km hop needs >500 m of structure through the bulge alone.
+        assert not profile.feasible
+        assert isinstance(profile, ClearanceProfile)

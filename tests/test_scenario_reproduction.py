@@ -1,0 +1,275 @@
+"""The headline verification: the calibrated scenario reproduces the
+paper's published tables and figures through the measurement pipeline.
+
+Tolerances: latencies are calibrated to ~5 m of path length (≈0.02 µs),
+so most assertions are tight; the two documented deviations (JM's APA 71
+vs 73, WH's CME–NYSE APA 93 vs 92 — see EXPERIMENTS.md) are asserted at
+their measured values to catch regressions.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import pytest
+
+from repro.analysis.funnel import run_scraping_funnel
+from repro.analysis.tables import (
+    table1_connected_networks,
+    table2_top_networks,
+    table3_apa,
+)
+from repro.core.timeline import (
+    grant_cancellation_activity,
+    yearly_snapshot_dates,
+)
+from repro.analysis.figures import (
+    fig1_latency_evolution,
+    fig2_active_licenses,
+    fig4a_link_length_cdfs,
+    fig4b_frequency_cdfs,
+)
+from repro.metrics.cdf import EmpiricalCdf
+from repro.metrics.frequencies import fraction_below_ghz
+
+#: Table 1 of the paper: licensee -> (latency ms, APA %, towers).
+PAPER_TABLE1 = {
+    "New Line Networks": (3.96171, 54, 25),
+    "Pierce Broadband": (3.96209, 7, 29),
+    "Jefferson Microwave": (3.96597, 73, 22),
+    "Blueline Comm": (3.96940, 0, 29),
+    "Webline Holdings": (3.97157, 85, 27),
+    "AQ2AT": (4.01101, 0, 29),
+    "Wireless Internetwork": (4.12246, 0, 33),
+    "GTT Americas": (4.24241, 0, 28),
+    "SW Networks": (4.44530, 0, 74),
+}
+
+#: Table 2: path -> [(rank-1 licensee, ms), ...].
+PAPER_TABLE2 = {
+    ("CME", "NY4"): [
+        ("New Line Networks", 3.96171),
+        ("Pierce Broadband", 3.96209),
+        ("Jefferson Microwave", 3.96597),
+    ],
+    ("CME", "NYSE"): [
+        ("New Line Networks", 3.93209),
+        ("Jefferson Microwave", 3.94021),
+        ("Blueline Comm", 3.95866),
+    ],
+    ("CME", "NASDAQ"): [
+        ("New Line Networks", 3.92728),
+        ("Webline Holdings", 3.92805),
+        ("Jefferson Microwave", 3.92828),
+    ],
+}
+
+LATENCY_TOLERANCE_MS = 5e-5  # 0.05 µs ≈ 15 m of path
+
+
+class TestFunnel:
+    def test_57_29_9(self, scenario):
+        result = run_scraping_funnel(
+            scenario.database, scenario.corridor, scenario.snapshot_date
+        )
+        assert result.counts == (57, 29, 9)
+
+    def test_connected_set_matches_table1(self, scenario):
+        result = run_scraping_funnel(
+            scenario.database, scenario.corridor, scenario.snapshot_date
+        )
+        assert set(result.connected_licensees) == set(PAPER_TABLE1)
+
+
+class TestTable1:
+    def test_order_latency_and_towers(self, scenario):
+        rankings = table1_connected_networks(scenario)
+        assert [r.licensee for r in rankings] == list(PAPER_TABLE1)
+        for ranking in rankings:
+            latency, _, towers = PAPER_TABLE1[ranking.licensee]
+            assert ranking.latency_ms == pytest.approx(
+                latency, abs=LATENCY_TOLERANCE_MS
+            ), ranking.licensee
+            assert ranking.tower_count == towers, ranking.licensee
+
+    def test_apa_values(self, scenario):
+        measured = {
+            r.licensee: r.apa_percent for r in table1_connected_networks(scenario)
+        }
+        for name, (_, paper_apa, _) in PAPER_TABLE1.items():
+            # Documented deviation: JM combinatorics cap at 15/21 = 71%.
+            expected = 71 if name == "Jefferson Microwave" else paper_apa
+            assert measured[name] == expected, name
+
+    def test_nln_leads_pb_by_04us(self, scenario):
+        rankings = table1_connected_networks(scenario)
+        gap_us = (rankings[1].latency_ms - rankings[0].latency_ms) * 1e3
+        assert gap_us == pytest.approx(0.38, abs=0.1)
+
+
+class TestTable2:
+    def test_all_paths(self, scenario):
+        for path_ranking in table2_top_networks(scenario):
+            expected = PAPER_TABLE2[(path_ranking.source, path_ranking.target)]
+            assert [entry.licensee for entry in path_ranking.top] == [
+                name for name, _ in expected
+            ]
+            for entry, (_, latency) in zip(path_ranking.top, expected):
+                assert entry.latency_ms == pytest.approx(
+                    latency, abs=LATENCY_TOLERANCE_MS
+                )
+
+    def test_geodesic_distances(self, scenario):
+        distances = {
+            (p.source, p.target): p.geodesic_km
+            for p in table2_top_networks(scenario)
+        }
+        assert distances[("CME", "NY4")] == pytest.approx(1186.0, abs=0.5)
+        assert distances[("CME", "NYSE")] == pytest.approx(1174.0, abs=0.5)
+        assert distances[("CME", "NASDAQ")] == pytest.approx(1176.0, abs=0.5)
+
+    def test_nasdaq_is_a_photo_finish(self, scenario):
+        # Paper §3: NLN's NASDAQ edge over WH is ~0.8 µs; WH-JM is 0.2 µs.
+        (nasdaq,) = [
+            p for p in table2_top_networks(scenario) if p.target == "NASDAQ"
+        ]
+        gap_1_2 = (nasdaq.top[1].latency_ms - nasdaq.top[0].latency_ms) * 1e3
+        gap_2_3 = (nasdaq.top[2].latency_ms - nasdaq.top[1].latency_ms) * 1e3
+        assert gap_1_2 == pytest.approx(0.77, abs=0.1)
+        assert gap_2_3 == pytest.approx(0.23, abs=0.1)
+
+
+class TestTable3:
+    def test_apa_nln_vs_wh(self, scenario):
+        rows = {row.path: row.values for row in table3_apa(scenario)}
+        assert rows[("CME", "NY4")] == {
+            "New Line Networks": 54,
+            "Webline Holdings": 85,
+        }
+        assert rows[("CME", "NYSE")]["New Line Networks"] == 58
+        # Documented deviation: WH CME-NYSE measures 92 or 93 (paper 92).
+        assert rows[("CME", "NYSE")]["Webline Holdings"] in (92, 93)
+        assert rows[("CME", "NASDAQ")] == {
+            "New Line Networks": 30,
+            "Webline Holdings": 80,
+        }
+
+    def test_wh_dominates_every_path(self, scenario):
+        for row in table3_apa(scenario):
+            assert row.values["Webline Holdings"] > row.values["New Line Networks"]
+
+
+class TestFig1:
+    def test_trajectories(self, scenario):
+        series = fig1_latency_evolution(scenario)
+        by_year = {
+            name: {p.date.year: p.latency_ms for p in points}
+            for name, points in series.items()
+        }
+        # 2013 minimum is 4.00 ms (NTC), 2020 minimum is 3.962 (NLN).
+        in_2013 = [v[2013] for v in by_year.values() if v[2013] is not None]
+        assert min(in_2013) == pytest.approx(4.002, abs=0.002)
+        in_2020 = [v[2020] for v in by_year.values() if v[2020] is not None]
+        assert min(in_2020) == pytest.approx(3.96171, abs=1e-4)
+
+    def test_ntc_perishes(self, scenario):
+        points = fig1_latency_evolution(scenario)["National Tower Company"]
+        values = {p.date.year: p.latency_ms for p in points}
+        assert values[2016] is not None
+        assert values[2018] is None  # gone from the ecosystem
+
+    def test_pb_only_in_2020(self, scenario):
+        points = fig1_latency_evolution(scenario)["Pierce Broadband"]
+        values = [(p.date.year, p.latency_ms) for p in points]
+        assert all(latency is None for year, latency in values if year < 2020)
+        assert values[-1][1] == pytest.approx(3.96209, abs=1e-4)
+
+    def test_nln_fastest_by_2018(self, scenario):
+        series = fig1_latency_evolution(scenario)
+        at_2018 = {
+            name: {p.date.year: p.latency_ms for p in points}.get(2018)
+            for name, points in series.items()
+        }
+        connected = {k: v for k, v in at_2018.items() if v is not None}
+        assert min(connected, key=connected.get) == "New Line Networks"
+
+    def test_every_network_monotonically_improves(self, scenario):
+        for name, points in fig1_latency_evolution(scenario).items():
+            values = [p.latency_ms for p in points if p.latency_ms is not None]
+            assert all(a >= b - 1e-9 for a, b in zip(values, values[1:])), name
+
+
+class TestFig2:
+    def test_count_shapes(self, scenario):
+        series = fig2_active_licenses(scenario)
+        nln = dict(series["New Line Networks"].as_pairs())
+        assert nln[dt.date(2016, 1, 1)] == 95  # paper: 95 active on 2016-01-01
+        ntc = dict(series["National Tower Company"].as_pairs())
+        assert ntc[dt.date(2015, 1, 1)] == 160
+        assert ntc[dt.date(2018, 1, 1)] == 0
+        assert 60 <= ntc[dt.date(2017, 1, 1)] <= 85  # mid-wind-down (paper ~71)
+
+    def test_nln_2015_grant_burst(self, scenario):
+        # §4: NLN's 2015 licensing burst takes it from 40 active licenses
+        # on 2015-01-01 to 95 on 2016-01-01 (+55 net).  Gross grants
+        # exceed the net because era transitions also churn licenses —
+        # the same grants-plus-cancellations pattern §4 notes for NTC.
+        series = fig2_active_licenses(scenario)["New Line Networks"]
+        counts = dict(series.as_pairs())
+        assert counts[dt.date(2016, 1, 1)] - counts[dt.date(2015, 1, 1)] == 55
+        grants, _ = grant_cancellation_activity(
+            scenario.database, "New Line Networks", 2015
+        )
+        assert grants >= 55
+
+    def test_pb_smallest_active_count(self, scenario):
+        series = fig2_active_licenses(scenario)
+        final = {
+            name: counts.counts[-1]
+            for name, counts in series.items()
+            if name != "National Tower Company"
+        }
+        assert min(final, key=final.get) == "Pierce Broadband"
+        assert final["Pierce Broadband"] == 34
+
+    def test_counts_never_negative(self, scenario):
+        for series in fig2_active_licenses(scenario).values():
+            assert all(count >= 0 for count in series.counts)
+
+
+class TestFig4:
+    def test_link_length_medians(self, scenario):
+        samples = fig4a_link_length_cdfs(scenario)
+        wh = EmpiricalCdf(samples["Webline Holdings"])
+        nln = EmpiricalCdf(samples["New Line Networks"])
+        assert wh.median == pytest.approx(36.0, abs=2.5)
+        assert nln.median == pytest.approx(48.5, abs=2.5)
+        # Paper: WH's median is ~26% lower.
+        assert (nln.median - wh.median) / nln.median == pytest.approx(0.26, abs=0.08)
+
+    def test_frequency_profiles(self, scenario):
+        samples = fig4b_frequency_cdfs(scenario)
+        assert fraction_below_ghz(samples["WH"], 7.0) > 0.94
+        assert fraction_below_ghz(samples["NLN"], 7.0) == 0.0
+        assert fraction_below_ghz(samples["NLN-alternate"], 7.0) >= 0.18
+        # NLN's trunk is in the 11 GHz band.
+        assert all(10.5 <= f <= 12.0 for f in samples["NLN"])
+
+
+class TestScenarioHygiene:
+    def test_deterministic_rebuild(self, scenario):
+        from repro.synth.scenario import build_scenario
+
+        rebuilt = build_scenario()
+        assert len(rebuilt.database) == len(scenario.database)
+        a = sorted(lic.license_id for lic in scenario.database)
+        b = sorted(lic.license_id for lic in rebuilt.database)
+        assert a == b
+
+    def test_snapshot_grid_includes_final_date(self, scenario):
+        dates = yearly_snapshot_dates()
+        assert dates[-1] == scenario.snapshot_date
+
+    def test_featured_names_exist(self, scenario):
+        for name in scenario.featured_names:
+            assert scenario.database.licenses_for(name), name

@@ -1,0 +1,120 @@
+"""Tests for noise and tower-placement primitives."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geodesy import GeoPoint, geodesic_distance
+from repro.geodesy.path import cross_track_distance, polyline_length
+from repro.synth.noise import SmoothNoise
+from repro.synth.towers import (
+    bypass_point,
+    chain_points,
+    route_lengths_km,
+    spacing_fractions,
+)
+
+A = GeoPoint(41.7580, -88.1801)
+B = GeoPoint(40.7773, -74.0700)
+
+
+class TestSmoothNoise:
+    def test_deterministic_per_seed(self):
+        n1, n2 = SmoothNoise(42), SmoothNoise(42)
+        assert [n1(t / 10) for t in range(11)] == [n2(t / 10) for t in range(11)]
+
+    def test_seeds_differ(self):
+        n1, n2 = SmoothNoise(1), SmoothNoise(2)
+        assert any(abs(n1(t / 10) - n2(t / 10)) > 1e-6 for t in range(11))
+
+    @given(st.integers(0, 10_000), st.floats(0.0, 1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_bounded(self, seed, t):
+        assert abs(SmoothNoise(seed)(t)) <= 1.0 + 1e-12
+
+    def test_tapered_zero_at_ends(self):
+        noise = SmoothNoise(7)
+        assert noise.tapered(0.0) == 0.0
+        assert noise.tapered(1.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_tapered_domain(self):
+        with pytest.raises(ValueError):
+            SmoothNoise(7).tapered(1.5)
+
+    def test_requires_octave(self):
+        with pytest.raises(ValueError):
+            SmoothNoise(1, octaves=0)
+
+
+class TestSpacing:
+    def test_uniform(self):
+        fractions = spacing_fractions(4)
+        assert fractions == pytest.approx([0.25, 0.5, 0.75, 1.0])
+
+    def test_always_ends_at_one(self):
+        for profile in ("uniform", "mixed", "jittered"):
+            assert spacing_fractions(7, profile, seed=3)[-1] == 1.0
+
+    def test_monotone(self):
+        fractions = spacing_fractions(20, "mixed", seed=5)
+        assert all(a < b for a, b in zip(fractions, fractions[1:]))
+
+    def test_mixed_has_two_hop_lengths(self):
+        fractions = [0.0] + spacing_fractions(20, "mixed", seed=5, length_ratio=2.0)
+        hops = [b - a for a, b in zip(fractions, fractions[1:])]
+        distinct = sorted(set(round(h, 9) for h in hops))
+        assert len(distinct) == 2
+        assert distinct[1] / distinct[0] == pytest.approx(2.0, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            spacing_fractions(0)
+        with pytest.raises(ValueError):
+            spacing_fractions(5, "bogus")
+        with pytest.raises(ValueError):
+            spacing_fractions(5, "mixed", short_fraction=1.5)
+        with pytest.raises(ValueError):
+            spacing_fractions(5, "mixed", length_ratio=0.9)
+
+
+class TestChainPoints:
+    def test_endpoints_exact(self):
+        chain = chain_points(A, B, 10, 3_000.0, SmoothNoise(1))
+        assert chain[0] is A and chain[-1] is B
+        assert len(chain) == 11
+
+    def test_zero_amplitude_lies_on_geodesic(self):
+        chain = chain_points(A, B, 10, 0.0, SmoothNoise(1))
+        for point in chain[1:-1]:
+            assert cross_track_distance(point, A, B) < 10.0
+
+    def test_amplitude_monotone_in_length(self):
+        noise = SmoothNoise(1)
+        lengths = [
+            polyline_length(chain_points(A, B, 24, amp, noise))
+            for amp in (0.0, 5_000.0, 20_000.0, 60_000.0)
+        ]
+        assert all(x < y for x, y in zip(lengths, lengths[1:]))
+
+    def test_route_lengths_helper(self):
+        chain = chain_points(A, B, 5, 0.0, SmoothNoise(1))
+        lengths = route_lengths_km(chain)
+        assert len(lengths) == 5
+        assert sum(lengths) == pytest.approx(
+            geodesic_distance(A, B) / 1000.0, rel=1e-6
+        )
+
+
+class TestBypassPoint:
+    def test_detour_strictly_longer(self):
+        mid = chain_points(A, B, 2, 0.0, SmoothNoise(1))[1]
+        bypass = bypass_point(A, mid, 4_000.0)
+        direct = geodesic_distance(A, mid)
+        detour = geodesic_distance(A, bypass) + geodesic_distance(bypass, mid)
+        assert detour > direct
+
+    def test_rejects_zero_offset(self):
+        with pytest.raises(ValueError):
+            bypass_point(A, B, 0.0)

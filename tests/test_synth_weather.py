@@ -1,0 +1,122 @@
+"""Tests for the storm simulation and §5's reliability thesis."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.geodesy import GeoPoint, geodesic_destination
+from repro.synth.weather import (
+    RainCell,
+    Storm,
+    apply_storm,
+    random_storm,
+    storm_latency_ms,
+)
+
+CENTER = GeoPoint(41.0, -80.0)
+
+
+class TestRainCell:
+    def test_peak_at_center(self):
+        cell = RainCell(CENTER, radius_km=30.0, peak_rate_mm_h=100.0)
+        assert cell.rate_at(CENTER) == pytest.approx(100.0)
+
+    def test_gaussian_falloff(self):
+        cell = RainCell(CENTER, radius_km=30.0, peak_rate_mm_h=100.0)
+        at_radius = cell.rate_at(geodesic_destination(CENTER, 90.0, 30_000.0))
+        assert at_radius == pytest.approx(100.0 * 2.718281828**-1, rel=0.01)
+        far = cell.rate_at(geodesic_destination(CENTER, 90.0, 150_000.0))
+        assert far < 1e-6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RainCell(CENTER, radius_km=0.0, peak_rate_mm_h=10.0)
+        with pytest.raises(ValueError):
+            RainCell(CENTER, radius_km=10.0, peak_rate_mm_h=-1.0)
+
+
+class TestStorm:
+    def test_cells_superpose(self):
+        cell = RainCell(CENTER, 30.0, 50.0)
+        storm = Storm(cells=(cell, cell))
+        assert storm.rate_at(CENTER) == pytest.approx(100.0)
+
+    def test_max_rate_over_link_sees_midpath_cell(self):
+        a = geodesic_destination(CENTER, 270.0, 40_000.0)
+        b = geodesic_destination(CENTER, 90.0, 40_000.0)
+        storm = Storm(cells=(RainCell(CENTER, 20.0, 80.0),))
+        # Neither endpoint is in heavy rain, but the middle of the hop is.
+        assert storm.rate_at(a) < 2.0
+        assert storm.max_rate_over_link(a, b) == pytest.approx(80.0, rel=0.05)
+
+    def test_random_storm_deterministic(self):
+        along = (GeoPoint(41.7, -88.0), GeoPoint(40.8, -74.1))
+        s1, s2 = random_storm(5, along), random_storm(5, along)
+        assert [c.center.rounded() for c in s1.cells] == [
+            c.center.rounded() for c in s2.cells
+        ]
+        assert random_storm(6, along).cells != s1.cells
+
+    def test_random_storm_validation(self):
+        with pytest.raises(ValueError):
+            random_storm(1, (CENTER, CENTER), n_cells=0)
+
+
+class TestApplyStorm:
+    def test_storm_kills_high_band_but_not_low_band(
+        self, scenario, reconstructor, snapshot_date
+    ):
+        nln = reconstructor.reconstruct_licensee(
+            scenario.database, "New Line Networks", snapshot_date
+        )
+        wh = reconstructor.reconstruct_licensee(
+            scenario.database, "Webline Holdings", snapshot_date
+        )
+        # A violent cell centred on an *unbypassed* stretch of NLN's
+        # 11 GHz trunk (link 12 is uncovered; the route node at index ~13
+        # sits mid-corridor).  170 mm/h fades ~49 km 11 GHz hops but not
+        # 6 GHz ones, so WH rides through on its low-band links.
+        route = nln.lowest_latency_route("CME", "NY4")
+        anchor_node = route.nodes[13]
+        anchor = nln.graph.nodes[anchor_node]["point"]
+        storm = Storm(cells=(RainCell(anchor, 40.0, 170.0),))
+        nln_latency = storm_latency_ms(nln, storm, "CME", "NY4")
+        wh_latency = storm_latency_ms(wh, storm, "CME", "NY4")
+        assert wh_latency is not None
+        # WH barely degrades...
+        assert wh_latency == pytest.approx(3.97157, abs=0.01)
+        # ...while NLN either loses connectivity or pays a large detour:
+        # the reliability crossover of §5.
+        assert nln_latency is None or nln_latency > wh_latency
+
+    def test_clear_weather_changes_nothing(self, nln_network):
+        storm = Storm(cells=(RainCell(CENTER, 20.0, 0.0),))
+        graph = apply_storm(nln_network, storm)
+        assert graph.number_of_edges() == nln_network.graph.number_of_edges()
+
+    def test_fiber_never_fails(self, nln_network):
+        storm = Storm(
+            cells=(RainCell(nln_network.data_centers["NY4"].point, 50.0, 200.0),)
+        )
+        graph = apply_storm(nln_network, storm)
+        fiber_edges = [
+            (u, v)
+            for u, v, d in graph.edges(data=True)
+            if d["medium"] == "fiber"
+        ]
+        original_fiber = [
+            (u, v)
+            for u, v, d in nln_network.graph.edges(data=True)
+            if d["medium"] == "fiber"
+        ]
+        assert len(fiber_edges) == len(original_fiber)
+
+    def test_storm_latency_none_when_disconnected(self, nln_network):
+        # Saturate the whole corridor with extreme rain: all MW links die.
+        cells = tuple(
+            RainCell(GeoPoint(41.3, lon), 80.0, 280.0)
+            for lon in range(-88, -73, 2)
+        )
+        latency = storm_latency_ms(nln_network, Storm(cells=cells), "CME", "NY4")
+        assert latency is None

@@ -1,0 +1,141 @@
+"""Tests for the in-memory ULS database and its indices."""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import pytest
+
+from repro.geodesy import GeoPoint, geodesic_destination
+from repro.uls.database import (
+    DuplicateLicenseError,
+    UlsDatabase,
+    UnknownLicenseError,
+)
+from tests.conftest import make_license
+
+CME = GeoPoint(41.7580, -88.1801)
+
+
+class TestMutation:
+    def test_add_and_len(self):
+        db = UlsDatabase([make_license("L1"), make_license("L2")])
+        assert len(db) == 2
+
+    def test_duplicate_id_rejected(self):
+        db = UlsDatabase([make_license("L1")])
+        with pytest.raises(DuplicateLicenseError):
+            db.add(make_license("L1"))
+
+    def test_duplicate_callsign_rejected(self):
+        db = UlsDatabase([make_license("L1")])
+        clashing = make_license("L3")
+        clashing.callsign = "WQL1"  # callsign normally derives from the id
+        with pytest.raises(DuplicateLicenseError):
+            db.add(clashing)
+
+    def test_extend(self):
+        db = UlsDatabase()
+        db.extend([make_license("L1"), make_license("L2")])
+        assert len(db) == 2
+
+
+class TestLookup:
+    def test_get_by_id_and_callsign(self):
+        lic = make_license("L1")
+        db = UlsDatabase([lic])
+        assert db.get("L1") is lic
+        assert db.get_by_callsign("WQL1") is lic
+
+    def test_unknown_raises(self):
+        db = UlsDatabase()
+        with pytest.raises(UnknownLicenseError):
+            db.get("nope")
+        with pytest.raises(UnknownLicenseError):
+            db.get_by_callsign("nope")
+
+    def test_contains_and_iter(self):
+        db = UlsDatabase([make_license("L1")])
+        assert "L1" in db
+        assert "L2" not in db
+        assert [lic.license_id for lic in db] == ["L1"]
+
+    def test_licensee_grouping(self):
+        db = UlsDatabase(
+            [
+                make_license("L1", licensee="B Corp"),
+                make_license("L2", licensee="A Corp"),
+                make_license("L3", licensee="B Corp"),
+            ]
+        )
+        assert db.licensee_names() == ["A Corp", "B Corp"]
+        assert len(db.licenses_for("B Corp")) == 2
+        assert db.licenses_for("missing") == []
+
+
+class TestSpatial:
+    def _db_with_ring(self, distances_km):
+        licenses = []
+        for index, distance in enumerate(distances_km):
+            remote = geodesic_destination(CME, 40.0 * index, distance * 1000.0)
+            far = geodesic_destination(remote, 90.0, 20_000.0)
+            licenses.append(
+                make_license(
+                    f"L{index}",
+                    licensee=f"Op{index}",
+                    points=(
+                        (remote.latitude, remote.longitude),
+                        (far.latitude, far.longitude),
+                    ),
+                )
+            )
+        return UlsDatabase(licenses)
+
+    def test_radius_search_inclusion(self):
+        db = self._db_with_ring([1.0, 5.0, 9.9, 10.5, 50.0])
+        hits = {lic.license_id for lic in db.licenses_within(CME, 10_000.0)}
+        assert hits == {"L0", "L1", "L2"}
+
+    def test_radius_search_deduplicates_license(self):
+        # A license with both endpoints in range appears once.
+        near = geodesic_destination(CME, 10.0, 2_000.0)
+        lic = make_license(
+            "L1",
+            points=((CME.latitude, CME.longitude), (near.latitude, near.longitude)),
+        )
+        db = UlsDatabase([lic])
+        assert len(db.licenses_within(CME, 10_000.0)) == 1
+
+    def test_negative_radius_rejected(self):
+        db = UlsDatabase()
+        with pytest.raises(ValueError):
+            db.licenses_within(CME, -1.0)
+
+    def test_search_respects_grid_cell_boundaries(self):
+        # A point just across a 0.5-degree grid boundary must still be found.
+        boundary_point = GeoPoint(41.4999, -88.0001)
+        neighbor = GeoPoint(41.5001, -87.9999)
+        db = UlsDatabase(
+            [
+                make_license(
+                    "L1",
+                    points=(
+                        (neighbor.latitude, neighbor.longitude),
+                        (41.6, -87.5),
+                    ),
+                )
+            ]
+        )
+        hits = db.licenses_within(boundary_point, 1_000.0)
+        assert [lic.license_id for lic in hits] == ["L1"]
+
+
+def test_active_on_filter():
+    db = UlsDatabase(
+        [
+            make_license("L1", grant=dt.date(2015, 1, 1)),
+            make_license("L2", grant=dt.date(2015, 1, 1), cancellation=dt.date(2016, 1, 1)),
+        ]
+    )
+    active = db.active_on(dt.date(2017, 1, 1))
+    assert [lic.license_id for lic in active] == ["L1"]

@@ -1,0 +1,142 @@
+"""Tests for the portal simulator and the scraping client."""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import pytest
+
+from repro.geodesy import GeoPoint, geodesic_destination
+from repro.uls.database import UlsDatabase
+from repro.uls.portal import PageNotFoundError, UlsPortal
+from repro.uls.scraper import ScrapeError, UlsScraper, _TableExtractor
+from tests.conftest import make_license
+
+CME = GeoPoint(41.7580, -88.1801)
+
+
+@pytest.fixture()
+def stack():
+    near = geodesic_destination(CME, 45.0, 3_000.0)
+    far = geodesic_destination(CME, 90.0, 40_000.0)
+    licenses = [
+        make_license(
+            "L1",
+            licensee="HFT Alpha & Co",
+            points=((near.latitude, near.longitude), (far.latitude, far.longitude)),
+            grant=dt.date(2015, 3, 1),
+            cancellation=dt.date(2019, 9, 30),
+            frequencies=(10995.0, 11485.0),
+        ),
+        make_license(
+            "L2",
+            licensee="HFT Alpha & Co",
+            points=((far.latitude, far.longitude), (41.5, -86.9)),
+            grant=dt.date(2016, 6, 1),
+        ),
+    ]
+    db = UlsDatabase(licenses)
+    portal = UlsPortal(db)
+    return portal, UlsScraper(portal)
+
+
+class TestPortal:
+    def test_geographic_page_contains_rows(self, stack):
+        portal, _ = stack
+        html = portal.geographic_search_page(CME.latitude, CME.longitude, 10.0)
+        assert "HFT Alpha &amp; Co" in html
+        assert "L1" in html
+
+    def test_detail_page_escapes_and_structures(self, stack):
+        portal, _ = stack
+        html = portal.license_detail_page("L1")
+        assert 'id="dates"' in html and 'id="locations"' in html and 'id="paths"' in html
+        assert "03/01/2015" in html  # US-format grant date
+        assert "&amp;" in html  # entity escaping
+
+    def test_missing_license_raises(self, stack):
+        portal, _ = stack
+        with pytest.raises(PageNotFoundError):
+            portal.license_detail_page("NOPE")
+
+    def test_request_counter(self, stack):
+        portal, _ = stack
+        start = portal.page_requests
+        portal.name_search_page("HFT Alpha & Co")
+        portal.license_detail_page("L1")
+        assert portal.page_requests == start + 2
+
+
+class TestScraper:
+    def test_geographic_rows(self, stack):
+        _, scraper = stack
+        rows = scraper.geographic_search(CME.latitude, CME.longitude, 10.0)
+        assert rows[0]["licensee_name"] == "HFT Alpha & Co"
+        assert rows[0]["radio_service_code"] == "MG"
+
+    def test_licenses_of(self, stack):
+        _, scraper = stack
+        assert scraper.licenses_of("HFT Alpha & Co") == ["L1", "L2"]
+
+    def test_detail_roundtrip(self, stack):
+        _, scraper = stack
+        lic = scraper.license_detail("L1")
+        assert lic.license_id == "L1"
+        assert lic.licensee_name == "HFT Alpha & Co"
+        assert lic.grant_date == dt.date(2015, 3, 1)
+        assert lic.cancellation_date == dt.date(2019, 9, 30)
+        assert lic.paths[0].frequencies_mhz == (10995.0, 11485.0)
+        # Coordinates survive the DMS rendering within ~1 cm.
+        original = make_license("X").locations  # not used; precision check below
+        assert lic.locations[1].point.latitude == pytest.approx(
+            geodesic_destination(CME, 45.0, 3_000.0).latitude, abs=1e-6
+        )
+
+    def test_detail_cache(self, stack):
+        portal, scraper = stack
+        scraper.license_detail("L1")
+        pages_before = portal.page_requests
+        scraper.license_detail("L1")
+        assert portal.page_requests == pages_before
+        assert scraper.stats.cache_hits == 1
+
+    def test_scrape_licensee_reconstructs_all(self, stack):
+        _, scraper = stack
+        licenses = scraper.scrape_licensee("HFT Alpha & Co")
+        assert [lic.license_id for lic in licenses] == ["L1", "L2"]
+
+    def test_active_semantics_survive_scrape(self, stack):
+        _, scraper = stack
+        lic = scraper.license_detail("L1")
+        assert lic.is_active(dt.date(2018, 1, 1))
+        assert not lic.is_active(dt.date(2020, 1, 1))
+
+
+class TestHtmlRobustness:
+    def test_table_extractor_ignores_non_result_tables(self):
+        html = (
+            "<table><tr><td>noise</td></tr></table>"
+            '<table class="results" id="dates"><tr><th>Event</th><th>Date</th></tr>'
+            "<tr><td>Grant</td><td>01/02/2015</td></tr></table>"
+        )
+        extractor = _TableExtractor()
+        extractor.feed(html)
+        assert list(extractor.tables) == ["dates"]
+        assert extractor.tables["dates"][1] == ["Grant", "01/02/2015"]
+
+    def test_first_table_raises_when_absent(self):
+        extractor = _TableExtractor()
+        extractor.feed("<html><body><p>empty</p></body></html>")
+        with pytest.raises(ScrapeError):
+            extractor.first_table()
+
+    def test_scraper_rejects_header_drift(self, stack):
+        portal, scraper = stack
+        real = portal.geographic_search_page
+
+        def tampered(lat, lon, radius, active_on=None):
+            return real(lat, lon, radius, active_on).replace("Call Sign", "Callsign")
+
+        portal.geographic_search_page = tampered
+        with pytest.raises(ScrapeError, match="header"):
+            scraper.geographic_search(CME.latitude, CME.longitude, 10.0)

@@ -1,0 +1,104 @@
+"""Tests for the four ULS search interfaces."""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import pytest
+
+from repro.geodesy import GeoPoint, geodesic_destination
+from repro.uls.database import UlsDatabase
+from repro.uls.search import UlsSearchService
+from tests.conftest import make_license
+
+CME = GeoPoint(41.7580, -88.1801)
+
+
+@pytest.fixture()
+def service():
+    near = geodesic_destination(CME, 45.0, 3_000.0)
+    far_tower = geodesic_destination(CME, 90.0, 40_000.0)
+    remote = geodesic_destination(CME, 90.0, 500_000.0)
+    licenses = [
+        make_license(
+            "MG1",
+            licensee="HFT Alpha",
+            points=((near.latitude, near.longitude), (far_tower.latitude, far_tower.longitude)),
+            grant=dt.date(2015, 1, 1),
+        ),
+        make_license(
+            "MG2",
+            licensee="HFT Alpha",
+            points=((far_tower.latitude, far_tower.longitude), (remote.latitude, remote.longitude)),
+            grant=dt.date(2015, 1, 1),
+        ),
+        make_license(
+            "MG3",
+            licensee="Local Utility",
+            points=((near.latitude, near.longitude), (far_tower.latitude, far_tower.longitude)),
+            grant=dt.date(2015, 1, 1),
+            cancellation=dt.date(2018, 1, 1),
+        ),
+        make_license(
+            "TV1",
+            licensee="Broadcaster",
+            points=((near.latitude, near.longitude), (far_tower.latitude, far_tower.longitude)),
+            radio_service="TS",
+            station_class="FXO",
+        ),
+        make_license(
+            "FB1",
+            licensee="Mobile Base",
+            points=((near.latitude, near.longitude), (far_tower.latitude, far_tower.longitude)),
+            radio_service="MG",
+            station_class="FB",
+        ),
+    ]
+    return UlsSearchService(UlsDatabase(licenses))
+
+
+class TestGeographicSearch:
+    def test_finds_licenses_with_endpoint_in_radius(self, service):
+        rows = service.geographic_search(CME, 10_000.0)
+        ids = {row.license_id for row in rows}
+        assert ids == {"MG1", "MG3", "TV1", "FB1"}
+
+    def test_active_on_excludes_cancelled(self, service):
+        rows = service.geographic_search(CME, 10_000.0, active_on=dt.date(2019, 1, 1))
+        assert "MG3" not in {row.license_id for row in rows}
+
+    def test_larger_radius_reaches_more(self, service):
+        rows = service.geographic_search(CME, 60_000.0)
+        assert {row.license_id for row in rows} >= {"MG1", "MG2", "MG3"}
+
+
+class TestSiteSearch:
+    def test_filters_service_and_class(self, service):
+        rows = service.site_search("MG", "FXO")
+        assert {row.license_id for row in rows} == {"MG1", "MG2", "MG3"}
+
+    def test_within_composes_with_geographic(self, service):
+        geo = service.geographic_search(CME, 10_000.0)
+        rows = service.site_search("MG", "FXO", within=geo)
+        assert {row.license_id for row in rows} == {"MG1", "MG3"}
+
+
+class TestNameAndDetail:
+    def test_name_search(self, service):
+        rows = service.name_search("HFT Alpha")
+        assert [row.license_id for row in rows] == ["MG1", "MG2"]
+
+    def test_detail_returns_full_record(self, service):
+        lic = service.license_detail("MG2")
+        assert lic.licensee_name == "HFT Alpha"
+        assert len(lic.paths) == 1
+
+
+class TestFunnelHelpers:
+    def test_candidate_licensees(self, service):
+        names = service.candidate_licensees(CME)
+        assert names == ["HFT Alpha", "Local Utility"]
+
+    def test_filing_counts(self, service):
+        counts = service.filing_counts(["HFT Alpha", "Local Utility"])
+        assert counts == {"HFT Alpha": 2, "Local Utility": 1}

@@ -1,0 +1,189 @@
+"""Tests for transaction logs and data validation."""
+
+from __future__ import annotations
+
+import datetime as dt
+import io
+
+import pytest
+
+from repro.geodesy import GeoPoint
+from repro.uls.database import UlsDatabase, UnknownLicenseError
+from repro.uls.dumpio import DumpFormatError
+from repro.uls.records import License, MicrowavePath, TowerLocation
+from repro.uls.transactions import (
+    Transaction,
+    apply_transactions,
+    read_transaction_log,
+    snapshot_database,
+    transactions_between,
+    write_transaction_log,
+)
+from repro.uls.validation import (
+    clean_licenses,
+    partition_by_severity,
+    validate_license,
+    validate_licenses,
+)
+from tests.conftest import make_license
+
+T0 = dt.date(2015, 1, 1)
+T1 = dt.date(2017, 1, 1)
+T2 = dt.date(2019, 1, 1)
+
+
+@pytest.fixture()
+def history_db():
+    return UlsDatabase(
+        [
+            make_license("A", grant=dt.date(2014, 5, 1)),
+            make_license("B", grant=dt.date(2015, 6, 1)),
+            make_license("C", grant=dt.date(2016, 2, 1), cancellation=dt.date(2018, 3, 1)),
+            make_license("D", grant=dt.date(2018, 7, 1)),
+            make_license("E", grant=dt.date(2014, 8, 1), termination=dt.date(2016, 9, 1)),
+        ]
+    )
+
+
+class TestTransactionModel:
+    def test_grant_requires_record(self):
+        with pytest.raises(ValueError):
+            Transaction(T0, "grant", "X")
+
+    def test_non_grant_rejects_record(self):
+        with pytest.raises(ValueError):
+            Transaction(T0, "cancel", "X", license=make_license("X"))
+
+    def test_unknown_action(self):
+        with pytest.raises(ValueError):
+            Transaction(T0, "renew", "X")
+
+
+class TestDerivationAndReplay:
+    def test_log_window_contents(self, history_db):
+        log = transactions_between(history_db, T0, T1)
+        events = [(tx.action, tx.license_id) for tx in log]
+        assert ("grant", "B") in events
+        assert ("grant", "C") in events
+        assert ("terminate", "E") in events
+        assert ("grant", "A") not in events  # before the window
+        assert ("grant", "D") not in events  # after the window
+        assert ("cancel", "C") not in events  # cancellation after window
+
+    def test_log_is_sorted(self, history_db):
+        log = transactions_between(history_db, T0, T2)
+        keys = [(tx.date, tx.license_id) for tx in log]
+        assert keys == sorted(keys)
+
+    def test_invariant_snapshot_plus_log_equals_snapshot(self, history_db):
+        """snapshot(t0) + transactions(t0, t1] ≡ snapshot(t1)."""
+        base = snapshot_database(history_db, T0)
+        log = transactions_between(history_db, T0, T2)
+        replayed = apply_transactions(base, log)
+        target = snapshot_database(history_db, T2)
+        for probe in (T0, dt.date(2016, 6, 1), dt.date(2018, 6, 1), T2):
+            replayed_ids = {lic.license_id for lic in replayed.active_on(probe)}
+            target_ids = {lic.license_id for lic in target.active_on(probe)}
+            assert replayed_ids == target_ids, probe
+
+    def test_grant_is_idempotent(self, history_db):
+        base = snapshot_database(history_db, T2)
+        log = transactions_between(history_db, T0, T2)
+        apply_transactions(base, log)  # everything already present
+        assert len(base) == len(snapshot_database(history_db, T2))
+
+    def test_cancel_unknown_license_raises(self):
+        with pytest.raises(UnknownLicenseError):
+            apply_transactions(UlsDatabase(), [Transaction(T0, "cancel", "ghost")])
+
+    def test_window_validation(self, history_db):
+        with pytest.raises(ValueError):
+            transactions_between(history_db, T1, T1)
+
+
+class TestLogSerialisation:
+    def test_roundtrip(self, history_db):
+        log = transactions_between(history_db, T0, T2)
+        buffer = io.StringIO()
+        write_transaction_log(log, buffer)
+        buffer.seek(0)
+        back = read_transaction_log(buffer)
+        assert [(tx.date, tx.action, tx.license_id) for tx in back] == [
+            (tx.date, tx.action, tx.license_id) for tx in log
+        ]
+        grants = [tx for tx in back if tx.action == "grant"]
+        assert all(tx.license is not None for tx in grants)
+
+    def test_file_roundtrip(self, history_db, tmp_path):
+        log = transactions_between(history_db, T0, T1)
+        path = tmp_path / "updates.tx"
+        write_transaction_log(log, path)
+        assert len(read_transaction_log(path)) == len(log)
+
+    def test_rejects_mismatched_embedded_record(self, history_db):
+        log = transactions_between(history_db, T0, T1)
+        buffer = io.StringIO()
+        write_transaction_log(log, buffer)
+        tampered = buffer.getvalue().replace("TX|2015-06-01|grant|B", "TX|2015-06-01|grant|Z")
+        with pytest.raises(DumpFormatError):
+            read_transaction_log(io.StringIO(tampered))
+
+    def test_rejects_orphan_dump_lines(self):
+        with pytest.raises(DumpFormatError):
+            read_transaction_log(io.StringIO("HD|X|W|MG|FXO|||||\n"))
+
+
+class TestValidation:
+    def test_clean_license_passes(self):
+        assert validate_license(make_license()) == []
+
+    def test_scenario_data_is_clean(self, scenario):
+        errors, _ = partition_by_severity(validate_licenses(iter(scenario.database)))
+        assert errors == []
+
+    def test_hop_too_long(self):
+        lic = make_license(points=((41.75, -88.18), (41.75, -80.0)))  # ~680 km
+        codes = {issue.code for issue in validate_license(lic)}
+        assert "hop-too-long" in codes
+
+    def test_degenerate_hop(self):
+        lic = make_license(points=((41.75, -88.18), (41.7500001, -88.18)))
+        codes = {issue.code for issue in validate_license(lic)}
+        assert "hop-degenerate" in codes
+
+    def test_date_order(self):
+        lic = make_license(
+            grant=dt.date(2018, 1, 1), cancellation=dt.date(2016, 1, 1)
+        )
+        issues = validate_license(lic)
+        assert any(i.code == "date-order" and i.severity == "error" for i in issues)
+
+    def test_out_of_band_frequency(self):
+        lic = make_license(frequencies=(450.0,))
+        codes = {issue.code for issue in validate_license(lic)}
+        assert "frequency-out-of-band" in codes
+
+    def test_orphan_location(self):
+        lic = License(
+            license_id="L1",
+            callsign="W1",
+            licensee_name="X",
+            grant_date=dt.date(2015, 1, 1),
+            locations={
+                1: TowerLocation(1, GeoPoint(41.0, -88.0)),
+                2: TowerLocation(2, GeoPoint(41.2, -87.8)),
+                3: TowerLocation(3, GeoPoint(40.8, -87.7)),
+            },
+            paths=[MicrowavePath(1, 1, 2, (10995.0,))],
+        )
+        codes = {issue.code for issue in validate_license(lic)}
+        assert "location-orphan" in codes
+
+    def test_clean_licenses_drops_errors_keeps_warnings(self):
+        good = make_license("G")
+        warned = make_license(
+            "W", points=((41.75, -88.18), (41.7500001, -88.18))
+        )
+        broken = make_license("B", points=((41.75, -88.18), (41.75, -80.0)))
+        kept = clean_licenses([good, warned, broken])
+        assert [lic.license_id for lic in kept] == ["G", "W"]

@@ -1,0 +1,133 @@
+"""Tests for SVG maps, GeoJSON export, and figure data files."""
+
+from __future__ import annotations
+
+import json
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.viz.figdata import write_cdf_dat, write_series_dat
+from repro.viz.geojson import network_to_geojson
+from repro.viz.svgmap import render_network_svg
+
+
+class TestSvg:
+    def test_renders_well_formed_xml(self, nln_network):
+        text = render_network_svg(nln_network)
+        root = ET.fromstring(text)
+        assert root.tag.endswith("svg")
+
+    def test_contains_expected_elements(self, nln_network):
+        text = render_network_svg(nln_network)
+        assert text.count("<circle") == nln_network.tower_count
+        assert text.count("<line") == nln_network.link_count + len(
+            nln_network.fiber_tails
+        )
+        assert "<polyline" in text  # highlighted route
+        assert "New Line Networks" in text
+
+    def test_route_highlight_optional(self, nln_network):
+        text = render_network_svg(nln_network, highlight_route=None)
+        assert "<polyline" not in text
+
+    def test_writes_file(self, nln_network, tmp_path):
+        path = tmp_path / "map.svg"
+        render_network_svg(nln_network, path=path)
+        assert path.read_text().startswith("<svg")
+
+    def test_rejects_empty_network(self, scenario, reconstructor):
+        network = reconstructor.reconstruct(
+            [], scenario.snapshot_date, licensee="Empty"
+        )
+        # Data centers alone still project (4 points) — should not raise.
+        text = render_network_svg(network)
+        assert "<svg" in text
+
+
+class TestGeoJson:
+    def test_schema(self, nln_network):
+        collection = network_to_geojson(nln_network)
+        assert collection["type"] == "FeatureCollection"
+        kinds = {f["properties"]["kind"] for f in collection["features"]}
+        assert kinds == {"datacenter", "tower", "microwave", "fiber"}
+
+    def test_counts(self, nln_network):
+        collection = network_to_geojson(nln_network)
+        towers = [
+            f for f in collection["features"] if f["properties"]["kind"] == "tower"
+        ]
+        links = [
+            f for f in collection["features"] if f["properties"]["kind"] == "microwave"
+        ]
+        assert len(towers) == nln_network.tower_count
+        assert len(links) == nln_network.link_count
+
+    def test_lonlat_order(self, nln_network):
+        collection = network_to_geojson(nln_network)
+        cme = next(
+            f
+            for f in collection["features"]
+            if f["properties"].get("name") == "CME"
+        )
+        lon, lat = cme["geometry"]["coordinates"]
+        assert lon == pytest.approx(-88.1801) and lat == pytest.approx(41.758)
+
+    def test_json_serialisable_and_written(self, nln_network, tmp_path):
+        path = tmp_path / "net.geojson"
+        collection = network_to_geojson(nln_network, path=path)
+        loaded = json.loads(path.read_text())
+        assert loaded["properties"]["licensee"] == collection["properties"]["licensee"]
+
+
+class TestFigData:
+    def test_series_blocks(self, tmp_path):
+        path = tmp_path / "fig1.dat"
+        write_series_dat(
+            path,
+            {"NLN": [(2016.0, 3.98), (2020.0, 3.96)], "WH": [(2013.0, 4.03)]},
+            header="Fig 1\nlatency ms",
+        )
+        text = path.read_text()
+        assert '# series: "NLN"' in text
+        assert "# Fig 1" in text
+        assert "2016.000000 3.980000" in text
+
+    def test_cdf_blocks(self, tmp_path):
+        path = tmp_path / "fig4a.dat"
+        write_cdf_dat(path, {"WH": [36.0, 36.0, 60.0], "NLN": [48.5]})
+        text = path.read_text()
+        assert '# series: "WH"' in text
+        lines = [
+            line
+            for line in text.splitlines()
+            if line and not line.startswith("#")
+        ]
+        # WH collapses the duplicate 36.0 into one step.
+        assert lines[0].split()[0] == "36.000000"
+        assert float(lines[0].split()[1]) == pytest.approx(2 / 3)
+
+
+class TestCorridorOverview:
+    def test_renders_all_networks(self, scenario, reconstructor, snapshot_date):
+        import xml.etree.ElementTree as ET
+
+        from repro.viz.svgmap import render_corridor_svg
+
+        networks = [
+            reconstructor.reconstruct_licensee(scenario.database, name, snapshot_date)
+            for name in ("New Line Networks", "Webline Holdings")
+        ]
+        text = render_corridor_svg(networks)
+        ET.fromstring(text)
+        assert "New Line Networks" in text and "Webline Holdings" in text
+        total_links = sum(network.link_count for network in networks)
+        assert text.count("<line") == total_links + 2  # + 2 legend swatches
+
+    def test_rejects_empty(self):
+        import pytest as _pytest
+
+        from repro.viz.svgmap import render_corridor_svg
+
+        with _pytest.raises(ValueError):
+            render_corridor_svg([])

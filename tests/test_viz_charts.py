@@ -1,0 +1,118 @@
+"""Tests for the SVG chart renderer and the paper-figure renderings."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.figures import (
+    fig1_latency_evolution,
+    fig2_active_licenses,
+    fig4a_link_length_cdfs,
+    fig4b_frequency_cdfs,
+    fig5_leo_comparison,
+)
+from repro.viz.charts import SvgChart, nice_ticks
+from repro.viz.paperfigs import (
+    fig1_chart,
+    fig2_chart,
+    fig4a_chart,
+    fig4b_chart,
+    fig5_chart,
+)
+
+
+class TestNiceTicks:
+    def test_unit_range(self):
+        assert nice_ticks(0.0, 1.0) == pytest.approx([0.0, 0.2, 0.4, 0.6, 0.8, 1.0])
+
+    def test_covers_range(self):
+        ticks = nice_ticks(3.95, 4.05)
+        assert ticks[0] >= 3.95 and ticks[-1] <= 4.05001
+        assert len(ticks) >= 3
+
+    def test_degenerate_range(self):
+        ticks = nice_ticks(5.0, 5.0)
+        assert ticks  # expands to a unit span instead of crashing
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError):
+            nice_ticks(float("nan"), 1.0)
+
+    def test_large_magnitudes(self):
+        ticks = nice_ticks(0.0, 8000.0)
+        assert all(t % 1000 == 0 or t % 2000 == 0 for t in ticks)
+
+
+class TestSvgChart:
+    def _chart(self) -> SvgChart:
+        chart = SvgChart(title="T", x_label="X", y_label="Y")
+        chart.add_line("a", [(0.0, 0.0), (1.0, 2.0)])
+        chart.add_cdf("b", [1.0, 2.0, 2.0, 3.0])
+        return chart
+
+    def test_renders_well_formed_xml(self):
+        root = ET.fromstring(self._chart().render())
+        assert root.tag.endswith("svg")
+
+    def test_contains_series_and_labels(self):
+        text = self._chart().render()
+        assert text.count("<polyline") == 2
+        for token in ("T", "X", "Y", ">a<", ">b<"):
+            assert token in text
+
+    def test_line_series_has_markers(self):
+        text = self._chart().render()
+        assert text.count("<circle") == 2  # only the line series gets markers
+
+    def test_empty_series_rejected(self):
+        chart = SvgChart(title="T", x_label="X", y_label="Y")
+        with pytest.raises(ValueError):
+            chart.add_line("a", [])
+        with pytest.raises(ValueError):
+            chart.render()
+
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "chart.svg"
+        self._chart().render(path)
+        assert path.read_text().startswith("<svg")
+
+    def test_fixed_ranges_respected(self):
+        chart = SvgChart(
+            title="T", x_label="X", y_label="Y", y_range=(3.95, 4.05)
+        )
+        chart.add_line("a", [(2013.0, 4.0), (2020.0, 3.96)])
+        text = chart.render()
+        assert "3.96" in text  # tick labels from the fixed range
+        assert "4.04" in text
+
+
+class TestPaperFigureCharts:
+    def test_fig1(self, scenario, tmp_path):
+        chart = fig1_chart(fig1_latency_evolution(scenario))
+        text = chart.render(tmp_path / "fig1.svg")
+        # Paper's legend names appear; PB has a (short) series.
+        for name in ("New Line Networks", "Pierce Broadband"):
+            assert name in text
+        ET.fromstring(text)
+
+    def test_fig2(self, scenario):
+        text = fig2_chart(fig2_active_licenses(scenario)).render()
+        assert "No. of active licenses" in text
+        ET.fromstring(text)
+
+    def test_fig4a(self, scenario):
+        text = fig4a_chart(fig4a_link_length_cdfs(scenario)).render()
+        assert ">WH<" in text and ">NLN<" in text
+        ET.fromstring(text)
+
+    def test_fig4b(self, scenario):
+        text = fig4b_chart(fig4b_frequency_cdfs(scenario)).render()
+        assert "NLN-alternate" in text
+        ET.fromstring(text)
+
+    def test_fig5(self):
+        text = fig5_chart(fig5_leo_comparison()).render()
+        assert "Terrestrial MW" in text and "Fiber" in text
+        ET.fromstring(text)
