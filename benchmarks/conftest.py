@@ -11,7 +11,6 @@ from pathlib import Path
 
 import pytest
 
-from repro.core.reconstruction import NetworkReconstructor
 from repro.synth.scenario import paper2020_scenario
 
 OUTPUT_DIR = Path(__file__).parent / "output"
@@ -23,8 +22,10 @@ def scenario():
 
 
 @pytest.fixture(scope="session")
-def reconstructor(scenario):
-    return NetworkReconstructor(scenario.corridor)
+def engine(scenario):
+    """The scenario's shared CorridorEngine: snapshots survive across
+    benchmarks, so later benchmarks measure warm-cache behaviour."""
+    return scenario.engine()
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,108 @@
+"""Engine cache effectiveness: cold vs warm Fig 1 + Table 1 replay.
+
+The CorridorEngine exists because the corridor's topology changes slowly
+while the analyses query it densely: the same (licensee, active-license
+set) pair is reconstructed over and over.  This bench quantifies the win
+— it replays the Fig 1 timeline and the Table 1 ranking against a fresh
+engine (cold: every snapshot is a miss) and then again against the same
+engine (warm: every snapshot is a hit), asserts the two passes produce
+identical results, and records hit/miss rates and the wall-clock speedup
+in ``benchmarks/output/engine.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.report import format_table
+from repro.core.engine import CorridorEngine
+from repro.core.timeline import yearly_snapshot_dates
+from repro.metrics.rankings import rank_connected_networks
+
+from conftest import emit
+
+#: Warm replays must beat the cold pass by at least this factor.
+MIN_SPEEDUP = 2.0
+
+
+def _replay(scenario, engine):
+    """One full Fig 1 + Table 1 pass through the engine."""
+    dates = yearly_snapshot_dates()
+    timelines = {
+        name: engine.timeline(name, dates)
+        for name in scenario.featured_names
+    }
+    rankings = rank_connected_networks(
+        scenario.database,
+        scenario.corridor,
+        scenario.snapshot_date,
+        engine=engine,
+    )
+    return timelines, rankings
+
+
+def test_bench_engine_cold_vs_warm(benchmark, scenario, output_dir):
+    fresh = CorridorEngine(scenario.database, scenario.corridor)
+
+    start = time.perf_counter()
+    cold_result = _replay(scenario, fresh)
+    cold_s = time.perf_counter() - start
+    cold_stats = fresh.stats
+
+    start = time.perf_counter()
+    warm_result = _replay(scenario, fresh)
+    warm_s = time.perf_counter() - start
+    warm_stats = fresh.stats
+
+    # pytest-benchmark measures the steady (warm) state.
+    benchmark(_replay, scenario, fresh)
+
+    # Cached replays are byte-identical to the cold computation.
+    cold_timelines, cold_rankings = cold_result
+    warm_timelines, warm_rankings = warm_result
+    assert warm_timelines == cold_timelines
+    assert [r.as_row() for r in warm_rankings] == [
+        r.as_row() for r in cold_rankings
+    ]
+
+    # The cold pass reconstructed (intra-pass reuse aside); the warm pass
+    # recomputed nothing — miss counters are frozen after it.
+    assert cold_stats.snapshot.misses > 0
+    assert warm_stats.snapshot.misses == cold_stats.snapshot.misses
+    assert warm_stats.route.misses == cold_stats.route.misses
+    assert warm_stats.route.hits > cold_stats.route.hits
+
+    speedup = cold_s / warm_s
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm replay only {speedup:.1f}x faster than cold "
+        f"({cold_s * 1e3:.1f} ms -> {warm_s * 1e3:.1f} ms)"
+    )
+
+    def rates(stats):
+        return (
+            f"{stats.snapshot.hit_rate:.1%}",
+            f"{stats.route.hit_rate:.1%}",
+            f"{stats.geodesic.hit_rate:.1%}",
+        )
+
+    rows = [
+        ("cold pass (ms)", f"{cold_s * 1e3:.1f}", "", ""),
+        ("warm pass (ms)", f"{warm_s * 1e3:.1f}", "", ""),
+        ("speedup", f"{speedup:.1f}x", "", ""),
+        ("snapshot hits/misses", cold_stats.snapshot.hits,
+         warm_stats.snapshot.hits, warm_stats.snapshot.misses),
+        ("route hits/misses", cold_stats.route.hits,
+         warm_stats.route.hits, warm_stats.route.misses),
+        ("geodesic hits/misses", cold_stats.geodesic.hits,
+         warm_stats.geodesic.hits, warm_stats.geodesic.misses),
+        ("hit rates snap/route/geo (cumulative)", *rates(warm_stats)),
+    ]
+    emit(
+        output_dir,
+        "engine.txt",
+        format_table(
+            ("Measure", "cold", "after warm", "misses"),
+            rows,
+            title="CorridorEngine: Fig 1 + Table 1 replay, cold vs warm",
+        ),
+    )

@@ -11,13 +11,12 @@ import datetime as dt
 
 from repro.analysis.figures import fig3_network_maps
 from repro.analysis.report import format_table
-from repro.core.reconstruction import NetworkReconstructor
 from repro.viz.svgmap import render_corridor_svg
 
 from conftest import emit
 
 
-def test_bench_fig3(benchmark, scenario, output_dir):
+def test_bench_fig3(benchmark, scenario, engine, output_dir):
     artifacts = benchmark(
         fig3_network_maps, scenario, output_dir=output_dir / "fig3"
     )
@@ -50,9 +49,8 @@ def test_bench_fig3(benchmark, scenario, output_dir):
     assert late.geojson_path.stat().st_size > 0
 
     # Bonus artefact: every connected network on one map.
-    reconstructor = NetworkReconstructor(scenario.corridor)
     networks = [
-        reconstructor.reconstruct_licensee(scenario.database, name, dt.date(2020, 4, 1))
+        engine.snapshot(name, dt.date(2020, 4, 1))
         for name in scenario.connected_names
     ]
     overview = output_dir / "fig3" / "corridor_overview.svg"

@@ -23,14 +23,10 @@ from conftest import emit
 N_STORMS = 40
 
 
-def _storm_outcomes(scenario, reconstructor):
+def _storm_outcomes(scenario, engine):
     date = scenario.snapshot_date
-    nln = reconstructor.reconstruct_licensee(
-        scenario.database, "New Line Networks", date
-    )
-    wh = reconstructor.reconstruct_licensee(
-        scenario.database, "Webline Holdings", date
-    )
+    nln = engine.snapshot("New Line Networks", date)
+    wh = engine.snapshot("Webline Holdings", date)
     corridor = (
         scenario.corridor.site("CME").point,
         scenario.corridor.site("NY4").point,
@@ -49,8 +45,8 @@ def _storm_outcomes(scenario, reconstructor):
     return outcomes
 
 
-def test_bench_weather(benchmark, scenario, reconstructor, output_dir):
-    outcomes = benchmark(_storm_outcomes, scenario, reconstructor)
+def test_bench_weather(benchmark, scenario, engine, output_dir):
+    outcomes = benchmark(_storm_outcomes, scenario, engine)
     nln_down = sum(1 for nln, _ in outcomes if nln is None)
     wh_down = sum(1 for _, wh in outcomes if wh is None)
     wh_wins = sum(
@@ -84,7 +80,7 @@ def test_bench_weather(benchmark, scenario, reconstructor, output_dir):
     assert nln_down >= wh_down
 
 
-def test_bench_weather_profiles(benchmark, scenario, reconstructor, output_dir):
+def test_bench_weather_profiles(benchmark, scenario, engine, output_dir):
     """Effective-latency profiles: the distribution a buyer experiences."""
     date = scenario.snapshot_date
     corridor = (
@@ -92,7 +88,7 @@ def test_bench_weather_profiles(benchmark, scenario, reconstructor, output_dir):
         scenario.corridor.site("NY4").point,
     )
     networks = {
-        name: reconstructor.reconstruct_licensee(scenario.database, name, date)
+        name: engine.snapshot(name, date)
         for name in ("New Line Networks", "Webline Holdings")
     }
 

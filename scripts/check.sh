@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the full test suite plus the engine-equivalence property
+# tests (cached results must match cache-free reconstruction exactly).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+python -m pytest -x -q
+python -m pytest -x -q tests/test_engine.py

@@ -12,12 +12,14 @@ Quickstart::
     import repro
 
     scenario = repro.paper2020_scenario()
-    reconstructor = repro.NetworkReconstructor(scenario.corridor)
-    nln = reconstructor.reconstruct_licensee(
-        scenario.database, "New Line Networks", scenario.snapshot_date
+    engine = repro.CorridorEngine(scenario.database, scenario.corridor)
+    route = engine.route(
+        "New Line Networks", scenario.snapshot_date, "CME", "NY4"
     )
-    route = nln.lowest_latency_route("CME", "NY4")
     print(f"{route.latency_ms:.5f} ms over {route.tower_count} towers")
+
+Repeated queries (timelines, rankings, sweeps) hit the engine's
+snapshot/route caches; ``engine.stats`` reports hit rates.
 
 Subpackages
 -----------
@@ -44,6 +46,8 @@ from repro.constants import (
     SPEED_OF_LIGHT,
 )
 from repro.core import (
+    CacheStats,
+    CorridorEngine,
     CorridorSpec,
     HftNetwork,
     LatencyModel,
@@ -71,6 +75,8 @@ __all__ = [
     "MAX_FIBER_TAIL_M",
     "MICROWAVE_SPEED",
     "SPEED_OF_LIGHT",
+    "CacheStats",
+    "CorridorEngine",
     "CorridorSpec",
     "HftNetwork",
     "LatencyModel",

@@ -6,6 +6,13 @@ tolerance).  These sweeps quantify how sensitive the headline results are
 to each — including §3's observation that a per-tower overhead above
 ~1.4 µs would let Jefferson Microwave (22 towers) overtake New Line
 Networks (25 towers) on CME–NY4.
+
+Each sweep that varies a reconstruction parameter builds a
+parameter-distinct :class:`~repro.core.engine.CorridorEngine` per knob
+value (``scenario.engine(param=...)``), so snapshots computed under
+different parameterisations can never alias in a shared cache.  Sweeps
+that only vary a *metric* parameter (the APA slack) share the scenario's
+default engine.
 """
 
 from __future__ import annotations
@@ -14,7 +21,6 @@ import datetime as dt
 from dataclasses import dataclass
 
 from repro.core.latency import LatencyModel
-from repro.core.reconstruction import NetworkReconstructor
 from repro.metrics.apa import apa_percent
 from repro.metrics.rankings import rank_connected_networks
 from repro.synth.scenario import Scenario
@@ -26,10 +32,13 @@ def apa_slack_sweep(
     slacks: tuple[float, ...] = (1.01, 1.02, 1.05, 1.10, 1.20),
     on_date: dt.date | None = None,
 ) -> dict[float, int]:
-    """APA (CME–NY4) as a function of the latency-slack factor."""
+    """APA (CME–NY4) as a function of the latency-slack factor.
+
+    The slack is a metric knob, not a reconstruction knob: one snapshot
+    from the shared engine serves every slack value.
+    """
     date = on_date or scenario.snapshot_date
-    reconstructor = NetworkReconstructor(scenario.corridor)
-    network = reconstructor.reconstruct_licensee(scenario.database, licensee, date)
+    network = scenario.engine().snapshot(licensee, date)
     return {slack: apa_percent(network, "CME", "NY4", slack=slack) for slack in slacks}
 
 
@@ -48,8 +57,7 @@ def fiber_mode_comparison(
     date = on_date or scenario.snapshot_date
     result = {}
     for mode in ("nearest", "all"):
-        reconstructor = NetworkReconstructor(scenario.corridor, fiber_mode=mode)
-        network = reconstructor.reconstruct_licensee(scenario.database, licensee, date)
+        network = scenario.engine(fiber_mode=mode).snapshot(licensee, date)
         result[mode] = apa_percent(network, "CME", "NY4")
     return result
 
@@ -78,13 +86,10 @@ def per_tower_overhead_crossover(
     results = []
     for overhead_us in overheads_us:
         model = LatencyModel(per_tower_overhead_s=overhead_us * 1e-6)
-        reconstructor = NetworkReconstructor(scenario.corridor, latency_model=model)
+        engine = scenario.engine(latency_model=model)
         latencies = {}
         for name in licensees:
-            network = reconstructor.reconstruct_licensee(
-                scenario.database, name, date
-            )
-            route = network.lowest_latency_route("CME", "NY4")
+            route = engine.route(name, date, "CME", "NY4")
             if route is not None:
                 latencies[name] = route.latency_ms
         leader = min(latencies, key=latencies.get) if latencies else ""
@@ -110,10 +115,9 @@ def stitch_tolerance_sweep(
     date = on_date or scenario.snapshot_date
     result = {}
     for tolerance in tolerances_m:
-        reconstructor = NetworkReconstructor(
-            scenario.corridor, stitch_tolerance_m=tolerance
+        network = scenario.engine(stitch_tolerance_m=tolerance).snapshot(
+            licensee, date
         )
-        network = reconstructor.reconstruct_licensee(scenario.database, licensee, date)
         result[tolerance] = (network.tower_count, network.is_connected("CME", "NY4"))
     return result
 
@@ -127,15 +131,12 @@ def fiber_radius_sweep(
     date = on_date or scenario.snapshot_date
     result = {}
     for radius_km in radii_km:
-        reconstructor = NetworkReconstructor(
-            scenario.corridor, max_fiber_tail_m=radius_km * 1000.0
-        )
         rankings = rank_connected_networks(
             scenario.database,
             scenario.corridor,
             date,
             licensees=list(scenario.connected_names),
-            reconstructor=reconstructor,
+            engine=scenario.engine(max_fiber_tail_m=radius_km * 1000.0),
         )
         result[radius_km] = len(rankings)
     return result

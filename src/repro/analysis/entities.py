@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from itertools import combinations
 
 from repro.core.corridor import CorridorSpec
-from repro.core.reconstruction import NetworkReconstructor
+from repro.core.engine import CorridorEngine
 from repro.uls.database import UlsDatabase
 
 
@@ -79,21 +79,25 @@ def joint_analysis(
     on_date: dt.date,
     source: str = "CME",
     target: str = "NY4",
-    reconstructor: NetworkReconstructor | None = None,
+    engine: CorridorEngine | None = None,
 ) -> JointAnalysis:
-    """Reconstruct a group's joint network and compare with the members'."""
+    """Reconstruct a group's joint network and compare with the members'.
+
+    Members are snapshotted through the engine (cache hits when callers
+    probe overlapping groups); the pooled joint network is keyed on the
+    union of the members' active license ids, so repeated probes of the
+    same group are also cached.
+    """
     if len(licensees) < 2:
         raise ValueError("joint analysis needs at least two licensees")
-    reconstructor = reconstructor or NetworkReconstructor(corridor)
+    engine = engine or CorridorEngine(database, corridor)
     connected_alone = {}
     pooled = []
     for name in licensees:
-        licenses = database.licenses_for(name)
-        pooled.extend(licenses)
-        network = reconstructor.reconstruct(licenses, on_date, licensee=name)
-        connected_alone[name] = network.is_connected(source, target)
+        pooled.extend(database.licenses_for(name))
+        connected_alone[name] = engine.is_connected(name, on_date, source, target)
     joint_name = " + ".join(licensees)
-    joint = reconstructor.reconstruct(pooled, on_date, licensee=joint_name)
+    joint = engine.snapshot_from_licenses(pooled, on_date, licensee=joint_name)
     route = joint.lowest_latency_route(source, target)
     return JointAnalysis(
         licensees=tuple(licensees),
@@ -120,6 +124,7 @@ def resolve_entities(
     source: str = "CME",
     target: str = "NY4",
     require_complementary: bool = True,
+    engine: CorridorEngine | None = None,
 ) -> list[ResolvedEntity]:
     """Find co-owned licensee groups.
 
@@ -129,7 +134,7 @@ def resolve_entities(
     path none of its members achieves alone — the unambiguous signature
     of a split filing identity.
     """
-    reconstructor = NetworkReconstructor(corridor)
+    engine = engine or CorridorEngine(database, corridor)
     resolved = []
     for domain, group in sorted(shared_domain_groups(database, licensees).items()):
         analysis = joint_analysis(
@@ -139,7 +144,7 @@ def resolve_entities(
             on_date,
             source=source,
             target=target,
-            reconstructor=reconstructor,
+            engine=engine,
         )
         if require_complementary and not analysis.complementary:
             continue
@@ -156,21 +161,20 @@ def complementary_pairs(
     on_date: dt.date,
     source: str = "CME",
     target: str = "NY4",
+    engine: CorridorEngine | None = None,
 ) -> list[JointAnalysis]:
     """Geometric search: pairs whose union connects though neither does.
 
     The "with some uncertainty" variant from §2.4 — no identity signal,
     only link complementarity.  Quadratic in the candidate list, so
     callers should pass a shortlist (e.g. the funnel's non-connected
-    licensees).
+    licensees); the engine's caches keep each member's solo snapshot and
+    route to a single reconstruction across all pairs.
     """
-    reconstructor = NetworkReconstructor(corridor)
+    engine = engine or CorridorEngine(database, corridor)
     alone: dict[str, bool] = {}
     for name in licensees:
-        network = reconstructor.reconstruct(
-            database.licenses_for(name), on_date, licensee=name
-        )
-        alone[name] = network.is_connected(source, target)
+        alone[name] = engine.is_connected(name, on_date, source, target)
     results = []
     for first, second in combinations(licensees, 2):
         if alone[first] or alone[second]:
@@ -182,7 +186,7 @@ def complementary_pairs(
             on_date,
             source=source,
             target=target,
-            reconstructor=reconstructor,
+            engine=engine,
         )
         if analysis.complementary:
             results.append(analysis)

@@ -6,11 +6,9 @@ import datetime as dt
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.core.reconstruction import NetworkReconstructor
 from repro.core.timeline import (
     LicenseCountSeries,
     TimelinePoint,
-    latency_timeline,
     license_count_timeline,
     yearly_snapshot_dates,
 )
@@ -35,17 +33,9 @@ def fig1_latency_evolution(
     """Fig 1: CME–NY4 latency trajectories of the featured networks."""
     licensees = licensees or scenario.featured_names
     dates = dates or yearly_snapshot_dates()
-    reconstructor = NetworkReconstructor(scenario.corridor)
+    engine = scenario.engine()
     return {
-        name: latency_timeline(
-            scenario.database,
-            scenario.corridor,
-            name,
-            dates,
-            source=source,
-            target=target,
-            reconstructor=reconstructor,
-        )
+        name: engine.timeline(name, dates, source=source, target=target)
         for name in licensees
     }
 
@@ -84,10 +74,10 @@ def fig3_network_maps(
 ) -> list[MapArtifacts]:
     """Fig 3: a network's map at two dates (SVG + GeoJSON when a
     directory is given)."""
-    reconstructor = NetworkReconstructor(scenario.corridor)
+    engine = scenario.engine()
     artifacts = []
     for date in dates:
-        network = reconstructor.reconstruct_licensee(scenario.database, licensee, date)
+        network = engine.snapshot(licensee, date)
         svg_path = geojson_path = None
         if output_dir is not None:
             directory = Path(output_dir)
@@ -119,10 +109,10 @@ def fig4a_link_length_cdfs(
 ) -> dict[str, list[float]]:
     """Fig 4a: link lengths (km) on near-optimal CME–NY4 paths."""
     date = on_date or scenario.snapshot_date
-    reconstructor = NetworkReconstructor(scenario.corridor)
+    engine = scenario.engine()
     samples = {}
     for name in licensees:
-        network = reconstructor.reconstruct_licensee(scenario.database, name, date)
+        network = engine.snapshot(name, date)
         samples[name] = near_optimal_link_lengths_km(network, source, target)
     return samples
 
@@ -136,13 +126,9 @@ def fig4b_frequency_cdfs(
     """Fig 4b: frequencies (GHz) on shortest paths (WH, NLN) and on NLN's
     alternate paths."""
     date = on_date or scenario.snapshot_date
-    reconstructor = NetworkReconstructor(scenario.corridor)
-    wh = reconstructor.reconstruct_licensee(
-        scenario.database, "Webline Holdings", date
-    )
-    nln = reconstructor.reconstruct_licensee(
-        scenario.database, "New Line Networks", date
-    )
+    engine = scenario.engine()
+    wh = engine.snapshot("Webline Holdings", date)
+    nln = engine.snapshot("New Line Networks", date)
     return {
         "WH": shortest_path_frequencies_ghz(wh, source, target),
         "NLN-alternate": alternate_path_frequencies_ghz(nln, source, target),

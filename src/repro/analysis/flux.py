@@ -15,7 +15,6 @@ import datetime as dt
 from dataclasses import dataclass
 
 from repro.constants import SPEED_OF_LIGHT
-from repro.core.reconstruction import NetworkReconstructor
 from repro.core.timeline import yearly_snapshot_dates
 from repro.metrics.rankings import rank_connected_networks
 from repro.synth.scenario import Scenario
@@ -86,12 +85,17 @@ def race_history(
     target: str = "NY4",
     licensees: list[str] | None = None,
 ) -> RaceHistory:
-    """Rank every (candidate) network at every snapshot date."""
+    """Rank every (candidate) network at every snapshot date.
+
+    All dates share the scenario's engine: years in which a licensee's
+    active-license set is unchanged hit the snapshot cache instead of
+    re-stitching the network.
+    """
     dates = dates or yearly_snapshot_dates()
     names = licensees if licensees is not None else list(scenario.connected_names) + [
         "National Tower Company"
     ]
-    reconstructor = NetworkReconstructor(scenario.corridor)
+    engine = scenario.engine()
     bound_ms = scenario.corridor.geodesic_m(source, target) / SPEED_OF_LIGHT * 1e3
     snapshots = []
     for date in dates:
@@ -102,7 +106,7 @@ def race_history(
             source=source,
             target=target,
             licensees=names,
-            reconstructor=reconstructor,
+            engine=engine,
         )
         snapshots.append(
             RaceSnapshot(

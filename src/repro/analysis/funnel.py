@@ -18,7 +18,7 @@ from repro.constants import (
     STATION_CLASS_FXO,
 )
 from repro.core.corridor import CorridorSpec
-from repro.core.reconstruction import NetworkReconstructor
+from repro.core.engine import CorridorEngine
 from repro.uls.database import UlsDatabase
 from repro.uls.portal import UlsPortal
 from repro.uls.records import licenses_by_licensee
@@ -52,8 +52,18 @@ def run_scraping_funnel(
     min_filings: int = MIN_FILINGS_FOR_SHORTLIST,
     source: str = "CME",
     target: str = "NY4",
+    engine: CorridorEngine | None = None,
 ) -> FunnelResult:
-    """Replay §2.2 through the portal + scraper."""
+    """Replay §2.2 through the portal + scraper.
+
+    Stage-3 connectivity checks run through a
+    :class:`~repro.core.engine.CorridorEngine` (reconstructing the
+    *scraped* license records); pass ``engine`` to share caches with
+    other drivers — license ids fingerprint identically whether records
+    come from the scraper or straight from the database.
+    """
+    if engine is None:
+        engine = CorridorEngine(database, corridor)
     portal = UlsPortal(database)
     scraper = UlsScraper(portal)
     cme = corridor.site(source).point
@@ -80,12 +90,11 @@ def run_scraping_funnel(
 
     # Stage 3: scrape the shortlisted licensees' license details and
     # reconstruct their networks at the snapshot date.
-    reconstructor = NetworkReconstructor(corridor)
     connected = []
     for name in shortlisted:
         licenses = scraper.scrape_licensee(name)
         grouped = licenses_by_licensee(licenses)
-        network = reconstructor.reconstruct(grouped[name], on_date, licensee=name)
+        network = engine.snapshot_from_licenses(grouped[name], on_date, licensee=name)
         if network.is_connected(source, target):
             connected.append(name)
 

@@ -12,7 +12,7 @@ import datetime as dt
 from dataclasses import dataclass, field
 
 from repro.core.corridor import CorridorSpec
-from repro.core.reconstruction import NetworkReconstructor
+from repro.core.engine import CorridorEngine
 from repro.uls.database import UlsDatabase
 from repro.uls.transactions import transactions_between
 
@@ -78,12 +78,15 @@ def diff_corridor(
     source: str = "CME",
     target: str = "NY4",
     licensees: list[str] | None = None,
+    engine: CorridorEngine | None = None,
 ) -> CorridorDiff:
     """Diff the corridor between two dates.
 
     ``licensees`` restricts the latency comparison (by default every
     licensee with filings); licensing-event counts always cover the whole
-    database.
+    database.  Pass ``engine`` to reuse snapshot/route caches across
+    repeated diffs (weekly monitoring keeps re-routing the same
+    unchanged networks).
     """
     log = transactions_between(database, start, end)
     grants = sum(1 for tx in log if tx.action == "grant")
@@ -102,15 +105,12 @@ def diff_corridor(
         sorted(name for name, date in first_grant.items() if start < date <= end)
     )
 
-    reconstructor = NetworkReconstructor(corridor)
+    engine = engine or CorridorEngine(database, corridor)
     names = licensees if licensees is not None else database.licensee_names()
     changes = []
     for name in names:
-        licenses = database.licenses_for(name)
-        before = reconstructor.reconstruct(licenses, start, licensee=name)
-        after = reconstructor.reconstruct(licenses, end, licensee=name)
-        route_before = before.lowest_latency_route(source, target)
-        route_after = after.lowest_latency_route(source, target)
+        route_before = engine.route(name, start, source, target)
+        route_after = engine.route(name, end, source, target)
         change = LatencyChange(
             licensee=name,
             before_ms=None if route_before is None else route_before.latency_ms,

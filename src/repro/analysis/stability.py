@@ -14,7 +14,6 @@ import datetime as dt
 from dataclasses import dataclass
 
 from repro.core.latency import LatencyModel
-from repro.core.reconstruction import NetworkReconstructor
 from repro.synth.scenario import Scenario
 
 
@@ -52,14 +51,14 @@ def _latencies_at(
     on_date: dt.date,
 ) -> dict[str, tuple[float, int]]:
     """licensee -> (latency ms at overhead, tower count)."""
-    model = LatencyModel(per_tower_overhead_s=overhead_us * 1e-6)
-    reconstructor = NetworkReconstructor(scenario.corridor, latency_model=model)
+    if overhead_us == 0.0:
+        engine = scenario.engine()
+    else:
+        model = LatencyModel(per_tower_overhead_s=overhead_us * 1e-6)
+        engine = scenario.engine(latency_model=model)
     out = {}
     for name in licensees:
-        network = reconstructor.reconstruct_licensee(
-            scenario.database, name, on_date
-        )
-        route = network.lowest_latency_route(source, target)
+        route = engine.route(name, on_date, source, target)
         if route is not None:
             out[name] = (route.latency_ms, route.tower_count)
     return out

@@ -5,7 +5,6 @@ from __future__ import annotations
 import datetime as dt
 from dataclasses import dataclass
 
-from repro.core.reconstruction import NetworkReconstructor
 from repro.metrics.apa import apa_percent
 from repro.metrics.rankings import (
     NetworkRanking,
@@ -25,7 +24,12 @@ def table1_connected_networks(
     """Table 1: connected networks by increasing CME–NY4 latency."""
     date = on_date or scenario.snapshot_date
     return rank_connected_networks(
-        scenario.database, scenario.corridor, date, source=source, target=target
+        scenario.database,
+        scenario.corridor,
+        date,
+        source=source,
+        target=target,
+        engine=scenario.engine(),
     )
 
 
@@ -37,7 +41,11 @@ def table2_top_networks(
     """Table 2: the fastest ``top_n`` networks per corridor path."""
     date = on_date or scenario.snapshot_date
     return top_networks_per_path(
-        scenario.database, scenario.corridor, date, top_n=top_n
+        scenario.database,
+        scenario.corridor,
+        date,
+        top_n=top_n,
+        engine=scenario.engine(),
     )
 
 
@@ -56,11 +64,8 @@ def table3_apa(
 ) -> list[ApaRow]:
     """Table 3: per-path APA for selected networks (paper: NLN vs WH)."""
     date = on_date or scenario.snapshot_date
-    reconstructor = NetworkReconstructor(scenario.corridor)
-    networks = {
-        name: reconstructor.reconstruct_licensee(scenario.database, name, date)
-        for name in licensees
-    }
+    engine = scenario.engine()
+    networks = {name: engine.snapshot(name, date) for name in licensees}
     rows = []
     for source, target in scenario.corridor.paths:
         rows.append(

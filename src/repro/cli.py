@@ -37,7 +37,6 @@ from repro.analysis.tables import (
     table2_top_networks,
     table3_apa,
 )
-from repro.core.reconstruction import NetworkReconstructor
 from repro.core.yamlio import network_to_yaml
 from repro.synth.scenario import paper2020_scenario
 from repro.viz.geojson import network_to_geojson
@@ -51,7 +50,10 @@ def _parse_date(text: str) -> dt.date:
 def _cmd_funnel(args: argparse.Namespace) -> int:
     scenario = paper2020_scenario()
     result = run_scraping_funnel(
-        scenario.database, scenario.corridor, args.date or scenario.snapshot_date
+        scenario.database,
+        scenario.corridor,
+        args.date or scenario.snapshot_date,
+        engine=scenario.engine(),
     )
     candidates, shortlisted, connected = result.counts
     print(f"candidate licensees: {candidates}")
@@ -136,13 +138,10 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
 def _cmd_export(args: argparse.Namespace) -> int:
     scenario = paper2020_scenario()
     date = args.date or scenario.snapshot_date
-    reconstructor = NetworkReconstructor(scenario.corridor)
     if args.licensee not in scenario.database.licensee_names():
         print(f"unknown licensee: {args.licensee!r}", file=sys.stderr)
         return 2
-    network = reconstructor.reconstruct_licensee(
-        scenario.database, args.licensee, date
-    )
+    network = scenario.engine().snapshot(args.licensee, date)
     out = Path(args.output_dir)
     out.mkdir(parents=True, exist_ok=True)
     stem = f"{args.licensee.lower().replace(' ', '_')}_{date.isoformat()}"
@@ -181,7 +180,10 @@ def _cmd_entities(args: argparse.Namespace) -> int:
 
     scenario = paper2020_scenario()
     resolved = resolve_entities(
-        scenario.database, scenario.corridor, args.date or scenario.snapshot_date
+        scenario.database,
+        scenario.corridor,
+        args.date or scenario.snapshot_date,
+        engine=scenario.engine(),
     )
     if not resolved:
         print("no co-owned licensee groups found")
@@ -209,14 +211,14 @@ def _cmd_weather(args: argparse.Namespace) -> int:
 
     scenario = paper2020_scenario()
     date = args.date or scenario.snapshot_date
-    reconstructor = NetworkReconstructor(scenario.corridor)
+    engine = scenario.engine()
     corridor = (
         scenario.corridor.site("CME").point,
         scenario.corridor.site("NY4").point,
     )
     rows = []
     for name in ("New Line Networks", "Webline Holdings"):
-        network = reconstructor.reconstruct_licensee(scenario.database, name, date)
+        network = engine.snapshot(name, date)
         profile = weather_latency_profile(
             network, "CME", "NY4", corridor, n_storms=args.storms
         )
@@ -325,6 +327,7 @@ def _cmd_diff(args: argparse.Namespace) -> int:
         args.start,
         args.end,
         licensees=list(scenario.featured_names),
+        engine=scenario.engine(),
     )
     print(
         f"{diff.start} -> {diff.end}: {diff.grants} grants, "
@@ -361,6 +364,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="hftnetview",
         description="Reconstruct and analyse HFT microwave networks "
         "(IMC 2020 reproduction).",
+    )
+    parser.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="after the command, print the shared engine's snapshot/route/"
+        "geodesic cache statistics to stderr",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -417,7 +426,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    status = args.func(args)
+    if args.cache_stats:
+        print(paper2020_scenario().engine().stats.describe(), file=sys.stderr)
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -4,21 +4,23 @@ This subpackage is the paper's primary contribution: a tool that turns raw
 FCC license records into analysable network graphs at any date in the past
 (§2.3), plus the latency model and routing machinery the analyses rely on.
 
-Typical usage::
+Typical usage goes through the engine, which caches snapshots and routes
+across repeated queries (the underlying cache-free kernel,
+:class:`NetworkReconstructor`, remains available for one-off use)::
 
-    from repro.core import CorridorSpec, NetworkReconstructor
+    from repro.core import CorridorEngine
     from repro.synth import paper2020_scenario
 
     scenario = paper2020_scenario()
-    reconstructor = NetworkReconstructor(scenario.corridor)
-    network = reconstructor.reconstruct(
-        scenario.database.licenses_for("New Line Networks"),
-        on_date=datetime.date(2020, 4, 1),
+    engine = CorridorEngine(scenario.database, scenario.corridor)
+    route = engine.route(
+        "New Line Networks", datetime.date(2020, 4, 1), "CME", "NY4"
     )
-    route = network.lowest_latency_route("CME", "NY4")
     print(route.latency_ms, route.tower_count)
+    print(engine.stats.describe())
 """
 
+from repro.core.engine import CacheStats, CorridorEngine
 from repro.core.latency import LatencyModel
 from repro.core.network import (
     DataCenter,
@@ -43,6 +45,8 @@ from repro.core.timeline import (
 from repro.core.yamlio import network_from_yaml, network_to_yaml
 
 __all__ = [
+    "CacheStats",
+    "CorridorEngine",
     "LatencyModel",
     "DataCenter",
     "HftNetwork",

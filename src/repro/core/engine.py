@@ -1,0 +1,472 @@
+"""The corridor engine: a caching query layer over reconstruction.
+
+Every paper artefact (tables, figures, funnel, ablations, entities, flux,
+monitoring) answers queries of the same shape — "this licensee's network on
+this date", "the lowest-latency route on this date" — against topology that
+changes only when a license is granted, cancelled or terminated.  The
+paper's tool (:class:`~repro.core.reconstruction.NetworkReconstructor`)
+recomputes stitching, fiber attachment and routing from scratch on every
+call; across a timeline or a ranking sweep that repeats nearly all of the
+work.
+
+:class:`CorridorEngine` is the memoising layer the workload shape calls
+for.  It owns one :class:`~repro.uls.database.UlsDatabase`, one
+:class:`~repro.core.corridor.CorridorSpec`, one set of reconstruction
+parameters, and three caches:
+
+* a **snapshot cache** keyed on ``(licensee, active-license fingerprint,
+  reconstruction params)`` — two dates on which a licensee's active
+  license set is identical share one stitched network;
+* a **geodesic memo** (:class:`repro.geodesy.memo.GeodesicMemo`) installed
+  around every reconstruction, converting repeated Vincenty inverse
+  solutions — the hot path under stitching, fiber attachment and link
+  measurement — into lookups;
+* a **route cache** for ``lowest_latency_route(source, target)`` per
+  cached snapshot.
+
+Cached results are *bit-identical* to cache-free reconstruction (property-
+tested in ``tests/test_engine.py``): the memo stores exact solutions and
+the snapshot cache stores the exact network object.  Reconstruction
+parameters are part of every snapshot key, so engines built with different
+stitch tolerances, fiber modes or latency models can never alias — and the
+engine itself is parameter-immutable: build one engine per parameterisation
+(see :meth:`repro.synth.scenario.Scenario.engine`).
+
+The :class:`NetworkReconstructor` remains the cache-free kernel; the
+engine wraps it and never changes its semantics.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+from repro.core.corridor import CorridorSpec
+from repro.core.latency import LatencyModel
+from repro.core.network import HftNetwork, Route
+from repro.core.reconstruction import NetworkReconstructor
+from repro.core.timeline import TimelinePoint
+from repro.geodesy.memo import DEFAULT_MEMO_SIZE, GeodesicMemo, use_memo
+from repro.uls.database import UlsDatabase
+from repro.uls.records import License
+
+#: Default bound on cached snapshots.  A full corridor scenario has ~60
+#: licensees × a handful of distinct active sets each; 512 covers every
+#: analysis driver without eviction while bounding worst-case memory.
+DEFAULT_SNAPSHOT_CACHE_SIZE = 512
+
+#: Default bound on cached routes ((snapshot, source, target) triples).
+DEFAULT_ROUTE_CACHE_SIZE = 4096
+
+_MISSING = object()
+
+
+@dataclass(frozen=True, slots=True)
+class CacheCounter:
+    """Hit/miss/eviction counts for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never used)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class CacheStats:
+    """A point-in-time snapshot of all three engine caches."""
+
+    snapshot: CacheCounter
+    route: CacheCounter
+    geodesic: CacheCounter
+
+    def describe(self) -> str:
+        """A short human-readable summary (the CLI's ``--cache-stats``)."""
+        lines = ["engine cache stats:"]
+        for name, counter in (
+            ("snapshot", self.snapshot),
+            ("route", self.route),
+            ("geodesic", self.geodesic),
+        ):
+            lines.append(
+                f"  {name:9s} hits={counter.hits}  misses={counter.misses}  "
+                f"evictions={counter.evictions}  entries={counter.size}  "
+                f"hit-rate={counter.hit_rate:.1%}"
+            )
+        return "\n".join(lines)
+
+
+class _LruCache:
+    """A bounded LRU mapping with hit/miss/eviction accounting."""
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize <= 0:
+            raise ValueError("cache size must be positive")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable, default: object = None) -> object:
+        entry = self._entries.get(key, _MISSING)
+        if entry is _MISSING:
+            self.misses += 1
+            return default
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Hashable, value: object) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = value
+            return
+        if len(self._entries) >= self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        self._entries[key] = value
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def counter(self) -> CacheCounter:
+        return CacheCounter(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            size=len(self._entries),
+        )
+
+
+class CorridorEngine:
+    """Snapshot/route cache layer over one database + one parameter set.
+
+    Parameters
+    ----------
+    database:
+        The license records every query runs against.
+    corridor:
+        The corridor's data centers.  May be omitted when
+        ``reconstructor`` is given (taken from it); when both are given
+        they must agree.
+    reconstructor:
+        An existing cache-free kernel to wrap.  Mutually exclusive with
+        the individual parameter keywords below.
+    latency_model / stitch_tolerance_m / max_fiber_tail_m / fiber_mode:
+        Reconstruction parameters, forwarded to the kernel
+        :class:`NetworkReconstructor`.  All parameters participate in
+        every cache key, so differently-parameterised engines never share
+        entries.
+    snapshot_cache_size / route_cache_size / geodesic_memo_size:
+        Bounds on the three caches (LRU eviction).
+    """
+
+    def __init__(
+        self,
+        database: UlsDatabase,
+        corridor: CorridorSpec | None = None,
+        *,
+        reconstructor: NetworkReconstructor | None = None,
+        latency_model: LatencyModel | None = None,
+        stitch_tolerance_m: float | None = None,
+        max_fiber_tail_m: float | None = None,
+        fiber_mode: str | None = None,
+        snapshot_cache_size: int = DEFAULT_SNAPSHOT_CACHE_SIZE,
+        route_cache_size: int = DEFAULT_ROUTE_CACHE_SIZE,
+        geodesic_memo_size: int = DEFAULT_MEMO_SIZE,
+    ) -> None:
+        params_given = any(
+            value is not None
+            for value in (
+                latency_model,
+                stitch_tolerance_m,
+                max_fiber_tail_m,
+                fiber_mode,
+            )
+        )
+        if reconstructor is not None:
+            if params_given:
+                raise ValueError(
+                    "pass reconstruction parameters either via reconstructor= "
+                    "or via keywords, not both"
+                )
+            if corridor is not None and corridor != reconstructor.corridor:
+                raise ValueError(
+                    "corridor disagrees with reconstructor.corridor; "
+                    "pass one or the other"
+                )
+        else:
+            if corridor is None:
+                raise ValueError("pass a corridor (or a reconstructor)")
+            kwargs: dict = {}
+            if latency_model is not None:
+                kwargs["latency_model"] = latency_model
+            if stitch_tolerance_m is not None:
+                kwargs["stitch_tolerance_m"] = stitch_tolerance_m
+            if max_fiber_tail_m is not None:
+                kwargs["max_fiber_tail_m"] = max_fiber_tail_m
+            if fiber_mode is not None:
+                kwargs["fiber_mode"] = fiber_mode
+            reconstructor = NetworkReconstructor(corridor, **kwargs)
+
+        self.database = database
+        self.reconstructor = reconstructor
+        self.corridor = reconstructor.corridor
+        self._snapshots = _LruCache(snapshot_cache_size)
+        self._routes = _LruCache(route_cache_size)
+        self._geodesic_memo = GeodesicMemo(geodesic_memo_size)
+
+    # ------------------------------------------------------------------
+    # Cache keys
+    # ------------------------------------------------------------------
+
+    @property
+    def params_key(self) -> tuple:
+        """The reconstruction-parameter component of every cache key."""
+        kernel = self.reconstructor
+        model = kernel.latency_model
+        return (
+            kernel.stitch_tolerance_m,
+            kernel.max_fiber_tail_m,
+            kernel.fiber_mode,
+            model.microwave_speed,
+            model.fiber_speed,
+            model.per_tower_overhead_s,
+        )
+
+    def active_fingerprint(
+        self, licensee: str, on_date: dt.date
+    ) -> frozenset[str]:
+        """The ids of ``licensee``'s licenses active on ``on_date``.
+
+        This is the invariant the snapshot cache exploits: the stitched
+        network is a pure function of (active license set, parameters), so
+        any two dates with equal fingerprints share a snapshot.
+        """
+        return frozenset(
+            lic.license_id
+            for lic in self.database.licenses_for(licensee)
+            if lic.is_active(on_date)
+        )
+
+    def snapshot_key(self, licensee: str, on_date: dt.date) -> tuple:
+        """The snapshot-cache key for (licensee, date) under this engine."""
+        return (
+            licensee,
+            self.active_fingerprint(licensee, on_date),
+            self.params_key,
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def snapshot(self, licensee: str, on_date: dt.date) -> HftNetwork:
+        """``licensee``'s network on ``on_date`` (cached by active set).
+
+        Equivalent to ``NetworkReconstructor.reconstruct_licensee`` — the
+        returned network always carries the requested ``as_of`` date, even
+        when its topology was stitched for an earlier query.
+        """
+        network = self._snapshot_cached(licensee, on_date)
+        return network.with_as_of(on_date)
+
+    def _snapshot_cached(self, licensee: str, on_date: dt.date) -> HftNetwork:
+        """The cached network instance (``as_of`` = first query's date)."""
+        key = self.snapshot_key(licensee, on_date)
+        network = self._snapshots.get(key)
+        if network is None:
+            with use_memo(self._geodesic_memo):
+                network = self.reconstructor.reconstruct_licensee(
+                    self.database, licensee, on_date
+                )
+            self._snapshots.put(key, network)
+        return network
+
+    def snapshot_from_licenses(
+        self,
+        licenses: Iterable[License],
+        on_date: dt.date,
+        licensee: str | None = None,
+    ) -> HftNetwork:
+        """A cached reconstruction of an explicit license set.
+
+        For callers whose records do not come straight out of the engine's
+        database: the §2.2 funnel reconstructs *scraped* licenses, and
+        entity resolution pools filings across licensees.  The cache key
+        fingerprints the active license ids exactly as :meth:`snapshot`
+        does (ids are unique corridor-wide), under the resolved network
+        name.
+        """
+        license_list = list(licenses)
+        if licensee is None:
+            names = {lic.licensee_name for lic in license_list}
+            if len(names) > 1:
+                raise ValueError(
+                    "licenses span multiple licensees; pass licensee= "
+                    f"explicitly (found {sorted(names)})"
+                )
+            licensee = next(iter(names)) if names else "(empty)"
+        fingerprint = frozenset(
+            lic.license_id for lic in license_list if lic.is_active(on_date)
+        )
+        key = (licensee, fingerprint, self.params_key)
+        network = self._snapshots.get(key)
+        if network is None:
+            with use_memo(self._geodesic_memo):
+                network = self.reconstructor.reconstruct(
+                    license_list, on_date, licensee=licensee
+                )
+            self._snapshots.put(key, network)
+        return network.with_as_of(on_date)
+
+    def route(
+        self, licensee: str, on_date: dt.date, source: str, target: str
+    ) -> Route | None:
+        """The lowest-latency ``source``→``target`` route, or None.
+
+        Routes are cached per snapshot (so per active-set fingerprint, not
+        per date) and per endpoint pair.
+        """
+        snapshot_key = self.snapshot_key(licensee, on_date)
+        key = (snapshot_key, source, target)
+        route = self._routes.get(key, _MISSING)
+        if route is _MISSING:
+            network = self._snapshot_cached(licensee, on_date)
+            route = network.lowest_latency_route(source, target)
+            self._routes.put(key, route)
+        return route
+
+    def is_connected(
+        self, licensee: str, on_date: dt.date, source: str, target: str
+    ) -> bool:
+        """Whether an end-to-end path exists (via the route cache)."""
+        return self.route(licensee, on_date, source, target) is not None
+
+    def connected_networks(
+        self,
+        on_date: dt.date,
+        source: str,
+        target: str,
+        licensees: Iterable[str] | None = None,
+    ) -> list[HftNetwork]:
+        """Networks with an end-to-end path on ``on_date`` (§3).
+
+        Mirrors ``NetworkReconstructor.connected_networks``, with every
+        snapshot and connectivity probe served through the caches.
+        """
+        names = (
+            list(licensees)
+            if licensees is not None
+            else self.database.licensee_names()
+        )
+        return [
+            self.snapshot(name, on_date)
+            for name in names
+            if self.is_connected(name, on_date, source, target)
+        ]
+
+    def timeline(
+        self,
+        licensee: str,
+        dates: Sequence[dt.date],
+        source: str = "CME",
+        target: str = "NY4",
+    ) -> list[TimelinePoint]:
+        """The Fig 1 series: one licensee's route latency over a date grid.
+
+        Consecutive dates whose active license set is unchanged hit the
+        snapshot *and* route caches — the dominant case on a fine grid.
+        """
+        points = []
+        for date in dates:
+            route = self.route(licensee, date, source, target)
+            if route is None:
+                points.append(TimelinePoint(date=date, latency_ms=None))
+            else:
+                points.append(
+                    TimelinePoint(
+                        date=date,
+                        latency_ms=route.latency_ms,
+                        tower_count=route.tower_count,
+                    )
+                )
+        return points
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    @property
+    def stats(self) -> CacheStats:
+        """Hit/miss/eviction counters for all three caches (a snapshot)."""
+        memo = self._geodesic_memo
+        return CacheStats(
+            snapshot=self._snapshots.counter(),
+            route=self._routes.counter(),
+            geodesic=CacheCounter(
+                hits=memo.hits,
+                misses=memo.misses,
+                evictions=memo.evictions,
+                size=len(memo),
+            ),
+        )
+
+    def clear_caches(self) -> None:
+        """Drop all cached snapshots, routes and geodesic solutions.
+
+        Counters are preserved (they describe lifetime behaviour); sizes
+        return to zero.
+        """
+        self._snapshots.clear()
+        self._routes.clear()
+        self._geodesic_memo.clear()
+
+    def with_params(self, **overrides) -> "CorridorEngine":
+        """A fresh engine sharing this database with parameter overrides.
+
+        Parameter sweeps (ablations) must not share caches across
+        parameterisations; this constructs the parameter-distinct sibling
+        with empty caches.  Accepts the reconstruction-parameter keywords
+        of the constructor (``latency_model``, ``stitch_tolerance_m``,
+        ``max_fiber_tail_m``, ``fiber_mode``).
+        """
+        kernel = self.reconstructor
+        base = {
+            "latency_model": kernel.latency_model,
+            "stitch_tolerance_m": kernel.stitch_tolerance_m,
+            "max_fiber_tail_m": kernel.max_fiber_tail_m,
+            "fiber_mode": kernel.fiber_mode,
+        }
+        unknown = set(overrides) - set(base)
+        if unknown:
+            raise TypeError(f"unknown reconstruction parameters: {sorted(unknown)}")
+        base.update(overrides)
+        return CorridorEngine(
+            self.database,
+            self.corridor,
+            snapshot_cache_size=self._snapshots.maxsize,
+            route_cache_size=self._routes.maxsize,
+            geodesic_memo_size=self._geodesic_memo.maxsize,
+            **base,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CorridorEngine(licensees={len(self.database.licensee_names())}, "
+            f"snapshots={len(self._snapshots)}, routes={len(self._routes)})"
+        )

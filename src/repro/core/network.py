@@ -284,6 +284,30 @@ class HftNetwork:
             latency_model=latency_model,
         )
 
+    def with_as_of(self, as_of: dt.date) -> "HftNetwork":
+        """A re-dated view of this network (same towers/links/graph).
+
+        The engine's snapshot cache keys on the *active license set*, so
+        one stitched network can serve many dates; this produces the view
+        carrying the caller's date.  The already-built latency graph is
+        shared — all consumers treat it as read-only (mutating analyses
+        like APA work on ``graph.copy()``).
+        """
+        if as_of == self.as_of:
+            return self
+        clone = HftNetwork(
+            licensee=self.licensee,
+            as_of=as_of,
+            towers=self.towers.values(),
+            links=self.links,
+            fiber_tails=self.fiber_tails,
+            data_centers=self.data_centers.values(),
+            latency_model=self.latency_model,
+        )
+        if "graph" in self.__dict__:
+            clone.__dict__["graph"] = self.graph
+        return clone
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"HftNetwork({self.licensee!r}, as_of={self.as_of.isoformat()}, "

@@ -10,12 +10,15 @@ from __future__ import annotations
 
 import datetime as dt
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.core.corridor import CorridorSpec
 from repro.core.reconstruction import NetworkReconstructor
 from repro.uls.database import UlsDatabase
 from repro.uls.records import License
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from repro.core.engine import CorridorEngine
 
 
 def yearly_snapshot_dates(
@@ -56,25 +59,33 @@ def latency_timeline(
     source: str = "CME",
     target: str = "NY4",
     reconstructor: NetworkReconstructor | None = None,
+    engine: CorridorEngine | None = None,
 ) -> list[TimelinePoint]:
-    """The Fig 1 series: end-to-end latency of one licensee over time."""
-    reconstructor = reconstructor or NetworkReconstructor(corridor)
-    licenses = database.licenses_for(licensee)
-    points = []
-    for date in dates:
-        network = reconstructor.reconstruct(licenses, date, licensee=licensee)
-        route = network.lowest_latency_route(source, target)
-        if route is None:
-            points.append(TimelinePoint(date=date, latency_ms=None))
+    """The Fig 1 series: end-to-end latency of one licensee over time.
+
+    Runs through a :class:`repro.core.engine.CorridorEngine`, so grid
+    points whose active license set is unchanged reuse the stitched
+    network and its routes.  Pass ``engine`` to share caches with other
+    queries; ``reconstructor`` carries non-default reconstruction
+    parameters — its corridor must agree with ``corridor`` (historically
+    this silently trusted the caller).
+    """
+    from repro.core.engine import CorridorEngine
+
+    if reconstructor is not None and reconstructor.corridor != corridor:
+        raise ValueError(
+            "reconstructor.corridor disagrees with the corridor argument"
+        )
+    if engine is None:
+        if reconstructor is not None:
+            engine = CorridorEngine(database, reconstructor=reconstructor)
         else:
-            points.append(
-                TimelinePoint(
-                    date=date,
-                    latency_ms=route.latency_ms,
-                    tower_count=route.tower_count,
-                )
-            )
-    return points
+            engine = CorridorEngine(database, corridor)
+    elif reconstructor is not None:
+        raise ValueError("pass either engine or reconstructor, not both")
+    elif engine.corridor != corridor:
+        raise ValueError("engine.corridor disagrees with the corridor argument")
+    return engine.timeline(licensee, dates, source=source, target=target)
 
 
 @dataclass(frozen=True, slots=True)

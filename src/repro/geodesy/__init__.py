@@ -21,6 +21,9 @@ Public API
     FCC ULS coordinate format (degrees-minutes-seconds with hemisphere).
 ``polyline_length``, ``cumulative_distances``, ``stretch_factor``
     Polyline geometry over sequences of points.
+``GeodesicMemo``, ``use_memo``, ``active_memo``
+    Opt-in bounded memoisation of the Vincenty inverse hot path (installed
+    by :class:`repro.core.engine.CorridorEngine` around reconstruction).
 """
 
 from repro.geodesy.earth import (
@@ -39,6 +42,11 @@ from repro.geodesy.coordinates import (
     format_dms,
     parse_dms,
     parse_uls_coordinate,
+)
+from repro.geodesy.memo import (
+    GeodesicMemo,
+    active_memo,
+    use_memo,
 )
 from repro.geodesy.path import (
     cross_track_distance,
@@ -60,6 +68,9 @@ __all__ = [
     "geodesic_distance",
     "geodesic_inverse",
     "great_circle_distance",
+    "GeodesicMemo",
+    "active_memo",
+    "use_memo",
     "format_dms",
     "parse_dms",
     "parse_uls_coordinate",

@@ -14,6 +14,8 @@ import math
 from dataclasses import dataclass
 from typing import Iterator
 
+from repro.geodesy import memo as _memo_module
+
 #: WGS84 semi-major axis (equatorial radius), metres.
 EARTH_EQUATORIAL_RADIUS_M = 6_378_137.0
 
@@ -86,7 +88,25 @@ def geodesic_inverse(a: GeoPoint, b: GeoPoint) -> tuple[float, float, float]:
     ``a`` to ``b``.  Falls back to the spherical solution for the rare
     nearly-antipodal pairs where Vincenty's iteration fails to converge
     (irrelevant on the Chicago–NJ corridor but kept for robustness).
+
+    When a :class:`repro.geodesy.memo.GeodesicMemo` is installed (see
+    :func:`repro.geodesy.memo.use_memo`), solutions are served from and
+    recorded into it; memoised results are bit-identical to fresh ones.
     """
+    memo = _memo_module.active_memo()
+    if memo is not None:
+        key = (a.latitude, a.longitude, b.latitude, b.longitude)
+        cached = memo.lookup(key)
+        if cached is not None:
+            return cached
+        solution = _geodesic_inverse_uncached(a, b)
+        memo.store(key, solution)
+        return solution
+    return _geodesic_inverse_uncached(a, b)
+
+
+def _geodesic_inverse_uncached(a: GeoPoint, b: GeoPoint) -> tuple[float, float, float]:
+    """The memo-free Vincenty inverse kernel."""
     if a.rounded(12) == b.rounded(12):
         return (0.0, 0.0, 0.0)
 

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 from repro.constants import APA_SLACK_FACTOR
 from repro.core.corridor import CorridorSpec
+from repro.core.engine import CorridorEngine
 from repro.core.network import HftNetwork, Route
 from repro.core.reconstruction import NetworkReconstructor
 from repro.metrics.apa import apa_percent
@@ -41,21 +42,28 @@ def rank_connected_networks(
     licensees: list[str] | None = None,
     slack: float = APA_SLACK_FACTOR,
     reconstructor: NetworkReconstructor | None = None,
+    engine: CorridorEngine | None = None,
 ) -> list[NetworkRanking]:
     """All networks connected source↔target, by increasing latency.
 
     ``licensees`` restricts the candidate set (the paper applies this to
     its 29 shortlisted licensees); by default every licensee in the
-    database is considered.
+    database is considered.  Pass ``engine`` to share snapshot/route
+    caches across rankings (e.g. over a date grid); ``reconstructor``
+    carries non-default reconstruction parameters and gets a private
+    engine.
     """
-    reconstructor = reconstructor or NetworkReconstructor(corridor)
+    if engine is None:
+        engine = CorridorEngine(database, corridor, reconstructor=reconstructor)
+    elif reconstructor is not None:
+        raise ValueError("pass either engine or reconstructor, not both")
     names = licensees if licensees is not None else database.licensee_names()
     rankings: list[NetworkRanking] = []
     for name in names:
-        network = reconstructor.reconstruct_licensee(database, name, on_date)
-        route = network.lowest_latency_route(source, target)
+        route = engine.route(name, on_date, source, target)
         if route is None:
             continue
+        network = engine.snapshot(name, on_date)
         rankings.append(
             NetworkRanking(
                 licensee=name,
@@ -86,8 +94,17 @@ def top_networks_per_path(
     top_n: int = 3,
     licensees: list[str] | None = None,
     reconstructor: NetworkReconstructor | None = None,
+    engine: CorridorEngine | None = None,
 ) -> list[PathTopRanking]:
-    """Table 2: the ``top_n`` fastest networks for every corridor path."""
+    """Table 2: the ``top_n`` fastest networks for every corridor path.
+
+    One engine serves all paths, so each licensee's network is stitched
+    once and only re-routed per (source, target) pair.
+    """
+    if engine is None:
+        engine = CorridorEngine(database, corridor, reconstructor=reconstructor)
+    elif reconstructor is not None:
+        raise ValueError("pass either engine or reconstructor, not both")
     results = []
     for source, target in corridor.paths:
         rankings = rank_connected_networks(
@@ -97,7 +114,7 @@ def top_networks_per_path(
             source=source,
             target=target,
             licensees=licensees,
-            reconstructor=reconstructor,
+            engine=engine,
         )
         results.append(
             PathTopRanking(

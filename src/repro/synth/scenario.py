@@ -595,6 +595,27 @@ class Scenario:
             "New Line Networks",
         )
 
+    def engine(self, **params) -> "CorridorEngine":
+        """The scenario's :class:`~repro.core.engine.CorridorEngine`.
+
+        With no arguments, returns one shared default-parameter engine per
+        scenario — every analysis driver and CLI subcommand that calls
+        this reuses its snapshot/route/geodesic caches.  With parameter
+        overrides (``latency_model``, ``stitch_tolerance_m``,
+        ``max_fiber_tail_m``, ``fiber_mode``, ``reconstructor``), returns
+        a *fresh* parameter-distinct engine: sweeps must never share cache
+        entries across parameterisations.
+        """
+        from repro.core.engine import CorridorEngine
+
+        if params:
+            return CorridorEngine(self.database, self.corridor, **params)
+        cached = self.__dict__.get("_default_engine")
+        if cached is None:
+            cached = CorridorEngine(self.database, self.corridor)
+            object.__setattr__(self, "_default_engine", cached)
+        return cached
+
 
 def build_scenario(
     specs: tuple[NetworkSpec, ...] | None = None,
