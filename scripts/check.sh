@@ -1,9 +1,18 @@
 #!/usr/bin/env bash
-# Tier-1 gate: the full test suite plus the engine-equivalence property
-# tests (cached results must match cache-free reconstruction exactly).
+# Tier-1 gate: syntax, static analysis, then the full test suite plus the
+# engine-equivalence property tests (cached results must match cache-free
+# reconstruction exactly).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+# Fast syntax gate: every file must at least compile.
+python -m compileall -q src
+
+# Project linter (repro.lint): determinism, cache discipline, float and
+# unit safety.  Fails on any finding not covered by an inline pragma or
+# the committed baseline (lint-baseline.json).
+python -m repro lint
 
 python -m pytest -x -q
 python -m pytest -x -q tests/test_engine.py

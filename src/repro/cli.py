@@ -13,9 +13,10 @@ Subcommands mirror the tool's workflow:
 * ``weather``   — effective latency profiles under a storm ensemble;
 * ``stability`` — ranking flips under per-tower overhead uncertainty;
 * ``design``    — design a corridor network under a site budget (§6);
-* ``diff``      — what changed on the corridor between two dates.
+* ``diff``      — what changed on the corridor between two dates;
+* ``lint``      — run the project's static-analysis rules (repro.lint).
 
-All commands run on the calibrated ``paper2020`` scenario.
+All analysis commands run on the calibrated ``paper2020`` scenario.
 """
 
 from __future__ import annotations
@@ -359,6 +360,54 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import (
+        lint_paths,
+        load_config,
+        registered_rules,
+        render_json,
+        render_text,
+        write_baseline,
+    )
+    from repro.lint.config import find_project_root
+
+    if args.list_rules:
+        for name, rule_cls in sorted(registered_rules().items()):
+            print(f"{name:18s} {rule_cls.description}")
+        return 0
+    config = load_config(root=find_project_root())
+    try:
+        result = lint_paths(
+            args.paths or None,
+            config=config,
+            use_baseline=not args.no_baseline,
+        )
+    except FileNotFoundError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.update_baseline:
+        baseline_path = config.root / (args.baseline or config.baseline_path)
+        write_baseline(
+            baseline_path, result.findings + result.baselined
+        )
+        print(
+            f"wrote {len(result.findings) + len(result.baselined)} "
+            f"finding(s) to {baseline_path}"
+        )
+        return 0
+    if args.baseline:
+        from repro.lint import load_baseline
+
+        baseline = load_baseline(config.root / args.baseline)
+        fresh, old = baseline.split(result.findings + result.baselined)
+        result.findings, result.baselined = fresh, old
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, verbose=args.verbose))
+    return 0 if result.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="hftnetview",
@@ -421,6 +470,40 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("start", type=_parse_date, help="YYYY-MM-DD")
     diff.add_argument("end", type=_parse_date, help="YYYY-MM-DD")
     diff.set_defaults(func=_cmd_diff)
+
+    lint = sub.add_parser(
+        "lint", help="run the project's static-analysis rules"
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files/directories to lint (default: [tool.repro.lint] "
+        "default_paths, i.e. src/repro)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="baseline file overriding the configured one",
+    )
+    lint.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the committed baseline (show every finding)",
+    )
+    lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to grandfather the current findings",
+    )
+    lint.add_argument(
+        "--verbose", action="store_true",
+        help="also print baselined findings in the text report",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit",
+    )
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

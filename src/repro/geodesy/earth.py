@@ -127,12 +127,16 @@ def _geodesic_inverse_uncached(a: GeoPoint, b: GeoPoint) -> tuple[float, float, 
         sin_sigma = math.sqrt(
             (cos_u2 * sin_lam) ** 2 + (cos_u1 * sin_u2 - sin_u1 * cos_u2 * cos_lam) ** 2
         )
+        # lint: disable=float-eq (Vincenty's coincident-point guard: sqrt
+        # of a sum of squares is exactly 0.0 only for identical points)
         if sin_sigma == 0.0:
             return (0.0, 0.0, 0.0)
         cos_sigma = sin_u1 * sin_u2 + cos_u1 * cos_u2 * cos_lam
         sigma = math.atan2(sin_sigma, cos_sigma)
         sin_alpha = cos_u1 * cos_u2 * sin_lam / sin_sigma
         cos_sq_alpha = 1.0 - sin_alpha**2
+        # lint: disable=float-eq (exact equatorial-geodesic case; guards a
+        # division by cos_sq_alpha that only an exact 0.0 would break)
         if cos_sq_alpha == 0.0:
             cos_2sigma_m = 0.0  # equatorial geodesic
         else:
@@ -208,6 +212,8 @@ def geodesic_destination(start: GeoPoint, azimuth_deg: float, distance_m: float)
     Returns the point reached by travelling ``distance_m`` metres from
     ``start`` along the initial bearing ``azimuth_deg``.
     """
+    # lint: disable=float-eq (exact zero-distance request returns the start
+    # point; sub-epsilon distances must still move through the formula)
     if distance_m == 0.0:
         return GeoPoint(start.latitude, start.longitude)
     if distance_m < 0.0:

@@ -50,6 +50,8 @@ def stretch_factor(points: Sequence[GeoPoint]) -> float:
     if len(points) < 2:
         raise ValueError("stretch factor needs at least two points")
     direct = geodesic_distance(points[0], points[-1])
+    # lint: disable=float-eq (geodesic_inverse returns exactly 0.0 for
+    # coincident endpoints; this is a sentinel, not a computed distance)
     if direct == 0.0:
         raise ValueError("stretch factor undefined for coincident endpoints")
     return polyline_length(points) / direct
@@ -68,6 +70,8 @@ def geodesic_interpolate(
     distance, azimuth, _ = geodesic_inverse(start, end)
     points = []
     for fraction in fractions:
+        # lint: disable=float-eq (exact literal 0.0 means "the start point
+        # itself"; a tolerance would snap nearby fractions to the start)
         if fraction == 0.0:
             points.append(GeoPoint(start.latitude, start.longitude))
         else:
@@ -84,9 +88,12 @@ def offset_point(
     distance, azimuth, _ = geodesic_inverse(start, end)
     on_path = (
         GeoPoint(start.latitude, start.longitude)
+        # lint: disable=float-eq (exact "start point" request, as above)
         if fraction == 0.0
         else geodesic_destination(start, azimuth, distance * fraction)
     )
+    # lint: disable=float-eq (exact literal 0.0 means "no lateral offset";
+    # any nonzero offset, however small, must displace the point)
     if lateral_m == 0.0:
         return on_path
     perpendicular = (azimuth + (90.0 if lateral_m > 0.0 else -90.0)) % 360.0

@@ -1,0 +1,91 @@
+"""The committed baseline: grandfathered findings that do not fail CI.
+
+A baseline lets the linter be adopted on a codebase with existing findings
+— the debt is committed, visible and diffable, while *new* findings fail
+immediately.  This repository's baseline is empty (the PR introducing the
+linter also fixed or pragma-justified every finding), but the machinery
+stays so future rules can land before their remediation sweeps.
+
+Format (JSON, schema v1)::
+
+    {"version": 1,
+     "findings": [{"path": ..., "line": ..., "column": ...,
+                   "rule": ..., "message": ...}]}
+
+Matching is exact on ``(path, rule, line)`` — message text may be reworded
+and columns may shift without un-baselining a finding, but moving code
+does.  That is deliberate: a drifted baseline should be regenerated (with
+``--update-baseline``) under review, not silently tolerated.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """An unreadable or wrong-version baseline file."""
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """An immutable set of grandfathered findings."""
+
+    entries: frozenset[tuple[str, str, int]]
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls(entries=frozenset())
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        return cls(
+            entries=frozenset((f.path, f.rule, f.line) for f in findings)
+        )
+
+    def contains(self, finding: Finding) -> bool:
+        return (finding.path, finding.rule, finding.line) in self.entries
+
+    def split(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding]]:
+        """(new, grandfathered) partition of ``findings``."""
+        fresh = [f for f in findings if not self.contains(f)]
+        old = [f for f in findings if self.contains(f)]
+        return fresh, old
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Read a baseline file; a missing file is an empty baseline."""
+    if not path.is_file():
+        return Baseline.empty()
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise BaselineError(f"unreadable baseline {path}: {error}") from error
+    if not isinstance(document, dict) or document.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {path} is not schema version {BASELINE_VERSION}"
+        )
+    findings = [Finding.from_dict(entry) for entry in document.get("findings", [])]
+    return Baseline.from_findings(findings)
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    """Write ``findings`` as the new committed baseline (sorted, stable)."""
+    document = {
+        "version": BASELINE_VERSION,
+        "findings": [f.as_dict() for f in sorted(findings)],
+    }
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )

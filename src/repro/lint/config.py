@@ -1,0 +1,175 @@
+"""Lint configuration: defaults, and the ``[tool.repro.lint]`` overlay.
+
+The linter is usable with zero configuration — every default below matches
+this repository's layout — but each knob is overridable from
+``pyproject.toml`` so the tool survives refactors without code changes::
+
+    [tool.repro.lint]
+    enable = ["determinism-hash-seed", ...]   # default: all registered
+    baseline = "lint-baseline.json"
+    default_paths = ["src/repro"]
+
+    [tool.repro.lint.float-eq]
+    paths = ["src/repro/geodesy/", "src/repro/core/latency.py"]
+
+    [tool.repro.lint.cache-discipline]
+    allowed = ["src/repro/core/engine.py"]
+
+    [tool.repro.lint.unit-suffix]
+    groups = [["_m", "_km"], ["_s", "_ms", "_us"]]
+
+Rule sections are keyed by rule name; unknown keys raise so typos cannot
+silently disable enforcement.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Paths linted when the CLI is given none.
+DEFAULT_PATHS = ("src/repro",)
+
+#: Default committed-baseline location, relative to the project root.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+#: Where the float-eq rule applies (project-root-relative prefixes).
+DEFAULT_FLOAT_EQ_PATHS = (
+    "src/repro/geodesy/",
+    "src/repro/core/latency.py",
+    "src/repro/metrics/",
+)
+
+#: Files allowed to construct the cache-free reconstruction kernel.
+DEFAULT_CACHE_ALLOWED = (
+    "src/repro/core/engine.py",
+    "src/repro/core/reconstruction.py",
+)
+
+#: Unit-suffix vocabulary: suffixes within one group share a dimension and
+#: must not be mixed in a single additive expression or comparison.
+DEFAULT_UNIT_GROUPS = (
+    ("_m", "_km"),
+    ("_s", "_ms", "_us"),
+)
+
+_KNOWN_TOP_KEYS = {"enable", "baseline", "default_paths"}
+
+
+class LintConfigError(ValueError):
+    """Raised for malformed ``[tool.repro.lint]`` sections."""
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """The resolved configuration one lint run operates under."""
+
+    #: Project root every relative path (findings, baseline) hangs off.
+    root: Path
+    #: Rule names to run (None = every registered rule).
+    enabled: tuple[str, ...] | None = None
+    #: Baseline file path, relative to ``root``.
+    baseline_path: str = DEFAULT_BASELINE
+    #: Paths linted when the caller passes none.
+    default_paths: tuple[str, ...] = DEFAULT_PATHS
+    #: Per-rule option tables (rule name → options dict).
+    rule_options: dict = field(default_factory=dict)
+
+    def options_for(self, rule_name: str) -> dict:
+        return self.rule_options.get(rule_name, {})
+
+    def float_eq_paths(self) -> tuple[str, ...]:
+        paths = self.options_for("float-eq").get("paths")
+        return tuple(paths) if paths is not None else DEFAULT_FLOAT_EQ_PATHS
+
+    def cache_allowed_files(self) -> tuple[str, ...]:
+        allowed = self.options_for("cache-discipline").get("allowed")
+        return tuple(allowed) if allowed is not None else DEFAULT_CACHE_ALLOWED
+
+    def unit_groups(self) -> tuple[tuple[str, ...], ...]:
+        groups = self.options_for("unit-suffix").get("groups")
+        if groups is None:
+            return DEFAULT_UNIT_GROUPS
+        return tuple(tuple(group) for group in groups)
+
+
+def find_project_root(start: Path | None = None) -> Path:
+    """The nearest ancestor of ``start`` holding a pyproject.toml (or .git).
+
+    Falls back to ``start`` itself so the linter still runs on loose trees.
+    """
+    current = (start or Path.cwd()).resolve()
+    if current.is_file():
+        current = current.parent
+    for candidate in (current, *current.parents):
+        if (candidate / "pyproject.toml").is_file() or (candidate / ".git").exists():
+            return candidate
+    return current
+
+
+def load_config(
+    root: Path | None = None, pyproject: Path | None = None
+) -> LintConfig:
+    """Build a :class:`LintConfig` from ``[tool.repro.lint]`` (if present).
+
+    ``pyproject`` overrides the file location (for tests); by default the
+    root's ``pyproject.toml`` is consulted and an absent file or section
+    yields the pure-default configuration.
+    """
+    root = (root or find_project_root()).resolve()
+    source = pyproject if pyproject is not None else root / "pyproject.toml"
+    table: dict = {}
+    if source.is_file():
+        with open(source, "rb") as handle:
+            document = tomllib.load(handle)
+        table = document.get("tool", {}).get("repro", {}).get("lint", {})
+        if not isinstance(table, dict):
+            raise LintConfigError("[tool.repro.lint] must be a table")
+
+    enabled = table.get("enable")
+    if enabled is not None:
+        if not isinstance(enabled, list) or not all(
+            isinstance(name, str) for name in enabled
+        ):
+            raise LintConfigError("[tool.repro.lint] enable must be a string list")
+        enabled = tuple(enabled)
+
+    baseline = table.get("baseline", DEFAULT_BASELINE)
+    if not isinstance(baseline, str):
+        raise LintConfigError("[tool.repro.lint] baseline must be a string")
+
+    default_paths = table.get("default_paths")
+    if default_paths is None:
+        default_paths = DEFAULT_PATHS
+    elif isinstance(default_paths, list) and all(
+        isinstance(path, str) for path in default_paths
+    ):
+        default_paths = tuple(default_paths)
+    else:
+        raise LintConfigError(
+            "[tool.repro.lint] default_paths must be a string list"
+        )
+
+    rule_options = {
+        key: value
+        for key, value in table.items()
+        if key not in _KNOWN_TOP_KEYS and isinstance(value, dict)
+    }
+    unknown = {
+        key
+        for key, value in table.items()
+        if key not in _KNOWN_TOP_KEYS and not isinstance(value, dict)
+    }
+    if unknown:
+        raise LintConfigError(
+            f"unknown [tool.repro.lint] keys: {sorted(unknown)}"
+        )
+
+    return LintConfig(
+        root=root,
+        enabled=enabled,
+        baseline_path=baseline,
+        default_paths=tuple(default_paths),
+        rule_options=rule_options,
+    )

@@ -1,0 +1,48 @@
+"""The unit of lint output: one finding at one source location.
+
+Findings are plain frozen dataclasses so reporters, the baseline store and
+tests can treat them as values: two findings are the same finding iff their
+``(path, rule, line, column, message)`` tuples are equal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is stored relative to the project root (posix separators) so
+    findings are stable across machines and usable as baseline keys.
+    """
+
+    path: str
+    line: int
+    column: int
+    rule: str
+    message: str
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}"
+
+    def as_dict(self) -> dict:
+        """The JSON-reporter / baseline representation (schema v1)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        return cls(
+            path=str(data["path"]),
+            line=int(data["line"]),
+            column=int(data.get("column", 0)),
+            rule=str(data["rule"]),
+            message=str(data.get("message", "")),
+        )

@@ -1,0 +1,91 @@
+"""Inline suppression pragmas: ``# lint: disable=rule-a,rule-b``.
+
+A pragma suppresses findings of the named rules **on its own line**; a
+pragma in a comment-only line (optionally continued by further comment
+lines of justification) covers the comment block **and the first code line
+after it**.  ``all`` suppresses every rule.  Trailing prose after the rule
+list is encouraged as justification::
+
+    if direct == 0.0:  # lint: disable=float-eq (exact sentinel)
+
+    # lint: disable=float-eq (geodesic_inverse returns exactly 0.0 for
+    # coincident endpoints; a sentinel, not a computed distance)
+    if direct == 0.0:
+
+Pragmas are parsed with :mod:`tokenize` so strings that merely *contain*
+pragma-looking text never suppress anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+#: Rule-name tokens are kebab-case identifiers; anything after the first
+#: non-name character of a comma-part is justification prose.
+_PRAGMA_RE = re.compile(r"#\s*lint:\s*disable=(?P<rules>[^#]*)")
+_NAME_RE = re.compile(r"[A-Za-z0-9_\-]+")
+
+
+class PragmaError(ValueError):
+    """A malformed pragma (empty rule list)."""
+
+
+def _parse_rule_list(raw: str) -> frozenset[str]:
+    names = []
+    for part in raw.split(","):
+        match = _NAME_RE.match(part.strip())
+        if match:
+            names.append(match.group(0).lower())
+    if not names:
+        raise PragmaError("pragma has an empty rule list")
+    return frozenset(names)
+
+
+def parse_pragmas(source: str) -> dict[int, frozenset[str]]:
+    """Line number → suppressed rule names for one file's source.
+
+    Comment-only lines apply to the next line as well, so a pragma can sit
+    above the statement it suppresses.  Unreadable sources (tokenize
+    errors) yield no pragmas — the driver will surface the syntax error.
+    """
+    suppressions: dict[int, set[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return {}
+
+    lines = source.splitlines()
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA_RE.search(token.string)
+        if match is None:
+            continue
+        rules = _parse_rule_list(match.group("rules"))
+        line = token.start[0]
+        suppressions.setdefault(line, set()).update(rules)
+        prefix = lines[line - 1][: token.start[1]]
+        if prefix.strip() != "":
+            continue  # trailing comment: same-line suppression only
+        # A comment-only pragma (plus any continuation comment lines)
+        # covers the whole block and the first code line after it.
+        cursor = line + 1
+        while cursor <= len(lines) and lines[cursor - 1].strip().startswith("#"):
+            suppressions.setdefault(cursor, set()).update(rules)
+            cursor += 1
+        if cursor <= len(lines):
+            suppressions.setdefault(cursor, set()).update(rules)
+
+    return {line: frozenset(rules) for line, rules in suppressions.items()}
+
+
+def is_suppressed(
+    rule: str, line: int, pragmas: dict[int, frozenset[str]]
+) -> bool:
+    """Whether ``rule`` is pragma-suppressed at ``line``."""
+    rules = pragmas.get(line)
+    if not rules:
+        return False
+    return "all" in rules or rule in rules

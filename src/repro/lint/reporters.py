@@ -1,0 +1,56 @@
+"""Finding reporters: the human text format and the stable JSON schema.
+
+The JSON schema is versioned and covered by a schema-stability test —
+downstream tooling (CI annotations, dashboards) may rely on the exact key
+set, so widening it requires a version bump, and narrowing it is a breaking
+change.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.driver import LintResult
+
+#: Version of the JSON report schema (bump on any key change).
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: LintResult, *, verbose: bool = False) -> str:
+    """The terminal report: one ``path:line:col: rule message`` per finding."""
+    lines = []
+    for finding in result.findings:
+        lines.append(
+            f"{finding.location()}: {finding.rule}: {finding.message}"
+        )
+    if verbose:
+        for finding in result.baselined:
+            lines.append(
+                f"{finding.location()}: {finding.rule}: {finding.message} "
+                "[baselined]"
+            )
+    summary = (
+        f"{len(result.findings)} finding(s) in {len(result.files)} file(s)"
+        f" ({len(result.baselined)} baselined,"
+        f" {result.suppressed} pragma-suppressed)"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """The machine report (schema v1, key set frozen by tests)."""
+    document = {
+        "version": JSON_SCHEMA_VERSION,
+        "findings": [finding.as_dict() for finding in result.findings],
+        "baselined": [finding.as_dict() for finding in result.baselined],
+        "summary": {
+            "files": len(result.files),
+            "rules": list(result.rules),
+            "findings": len(result.findings),
+            "baselined": len(result.baselined),
+            "suppressed": result.suppressed,
+            "ok": result.ok,
+        },
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

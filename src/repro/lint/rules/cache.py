@@ -1,0 +1,50 @@
+"""Cache discipline: all reconstruction goes through the CorridorEngine.
+
+PR 1 centralised snapshot/route caching in
+:class:`repro.core.engine.CorridorEngine`; its correctness argument (cached
+results bit-identical to cache-free reconstruction) only holds if consumers
+actually route through it.  A driver that quietly constructs its own
+:class:`NetworkReconstructor` re-stitches every network from scratch —
+correct but orders of magnitude slower, and invisible to the engine's
+cache statistics.  This rule turns that convention into tooling: only the
+engine module and the kernel module itself may construct the kernel or
+call ``reconstruct_all``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.config import LintConfig
+from repro.lint.registry import FileContext, Rule, call_name, register
+
+#: Callables that bypass the engine's caches.
+_KERNEL_CALLS = frozenset({"NetworkReconstructor", "reconstruct_all"})
+
+
+@register
+class CacheDisciplineRule(Rule):
+    """Kernel construction is confined to the engine and kernel modules."""
+
+    name = "cache-discipline"
+    description = (
+        "NetworkReconstructor(...)/reconstruct_all(...) outside the engine "
+        "and kernel modules bypasses the snapshot/route caches; use "
+        "CorridorEngine or Scenario.engine()"
+    )
+    interests = (ast.Call,)
+
+    def applies_to(self, rel_path: str, config: LintConfig) -> bool:
+        return rel_path not in config.cache_allowed_files()
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        assert isinstance(node, ast.Call)
+        name = call_name(node)
+        if name in _KERNEL_CALLS:
+            ctx.report(
+                self,
+                node,
+                f"{name}(...) bypasses the CorridorEngine caches; "
+                "go through CorridorEngine / Scenario.engine() "
+                "(allowed only in the engine and kernel modules)",
+            )

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import datetime as dt
 import random
+import zlib
 from dataclasses import dataclass
 from functools import lru_cache
 
@@ -430,7 +431,10 @@ def _split_half_licenses(
 ) -> list[License]:
     chain = _split_network_chain(corridor)
     licenses = []
-    rng = random.Random(hash(name) % 10_000)
+    # Seed from a stable digest of the name: hash() is randomised per
+    # process (PYTHONHASHSEED), which would make "deterministic" licenses
+    # differ across runs.
+    rng = random.Random(zlib.crc32(name.encode()) % 10_000)
     for link_index in link_range:
         a, b = chain[link_index], chain[link_index + 1]
         grant = dt.date(2017, 3, 1) + dt.timedelta(days=(link_index * 11) % 300)

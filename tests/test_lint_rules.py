@@ -1,0 +1,332 @@
+"""Per-rule fixture snippets: each rule catches its known violations and
+stays quiet on the idioms the codebase actually uses."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.lint import LintConfig, instantiate, lint_file
+
+
+def findings_for(
+    tmp_path: Path,
+    source: str,
+    *,
+    name: str = "mod.py",
+    rules: tuple[str, ...] | None = None,
+    rule_options: dict | None = None,
+) -> list:
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    config = LintConfig(
+        root=tmp_path,
+        enabled=rules,
+        rule_options=rule_options or {},
+    )
+    return lint_file(path, instantiate(rules), config)
+
+
+def rule_names(findings) -> list[str]:
+    return [finding.rule for finding in findings]
+
+
+class TestHashSeed:
+    def test_hash_seed_in_random_flagged(self, tmp_path):
+        source = """
+            import random
+            rng = random.Random(hash(name) % 10_000)
+        """
+        assert rule_names(findings_for(tmp_path, source, rules=("hash-seed",))) == [
+            "hash-seed"
+        ]
+
+    def test_hash_seed_keyword_argument_flagged(self, tmp_path):
+        source = """
+            import random
+            rng = random.Random(x=hash(name))
+        """
+        assert rule_names(findings_for(tmp_path, source, rules=("hash-seed",))) == [
+            "hash-seed"
+        ]
+
+    def test_hash_in_seed_call_flagged(self, tmp_path):
+        source = """
+            rng.seed(hash(key))
+        """
+        assert rule_names(findings_for(tmp_path, source, rules=("hash-seed",))) == [
+            "hash-seed"
+        ]
+
+    def test_stable_digest_seed_ok(self, tmp_path):
+        source = """
+            import random
+            import zlib
+            rng = random.Random(zlib.crc32(name.encode()) % 10_000)
+        """
+        assert findings_for(tmp_path, source, rules=("hash-seed",)) == []
+
+    def test_hash_outside_seeding_ok(self, tmp_path):
+        source = """
+            key = hash((a, b))
+        """
+        assert findings_for(tmp_path, source, rules=("hash-seed",)) == []
+
+
+class TestUnseededRng:
+    def test_module_level_random_flagged(self, tmp_path):
+        source = """
+            import random
+            x = random.random()
+            y = random.randint(1, 6)
+            random.shuffle(items)
+        """
+        assert rule_names(
+            findings_for(tmp_path, source, rules=("unseeded-rng",))
+        ) == ["unseeded-rng"] * 3
+
+    def test_unseeded_random_instance_flagged(self, tmp_path):
+        source = """
+            import random
+            rng = random.Random()
+        """
+        assert rule_names(
+            findings_for(tmp_path, source, rules=("unseeded-rng",))
+        ) == ["unseeded-rng"]
+
+    def test_seeded_instance_ok(self, tmp_path):
+        source = """
+            import random
+            rng = random.Random(42)
+            x = rng.random()
+            rng.shuffle(items)
+        """
+        assert findings_for(tmp_path, source, rules=("unseeded-rng",)) == []
+
+
+class TestWallClock:
+    def test_now_and_today_flagged(self, tmp_path):
+        source = """
+            import datetime as dt
+            a = dt.datetime.now()
+            b = dt.date.today()
+        """
+        assert rule_names(
+            findings_for(tmp_path, source, rules=("wall-clock",))
+        ) == ["wall-clock"] * 2
+
+    def test_time_time_flagged(self, tmp_path):
+        source = """
+            import time
+            t = time.time()
+        """
+        assert rule_names(
+            findings_for(tmp_path, source, rules=("wall-clock",))
+        ) == ["wall-clock"]
+
+    def test_explicit_dates_ok(self, tmp_path):
+        source = """
+            import datetime as dt
+            snapshot = dt.date(2020, 4, 1)
+            parsed = dt.date.fromisoformat("2020-04-01")
+        """
+        assert findings_for(tmp_path, source, rules=("wall-clock",)) == []
+
+
+class TestCacheDiscipline:
+    OPTIONS = {"cache-discipline": {"allowed": ["allowed/engine.py"]}}
+
+    def test_kernel_construction_flagged_outside_allowed(self, tmp_path):
+        source = """
+            from repro.core.reconstruction import NetworkReconstructor
+            kernel = NetworkReconstructor(corridor)
+        """
+        findings = findings_for(
+            tmp_path, source,
+            rules=("cache-discipline",), rule_options=self.OPTIONS,
+        )
+        assert rule_names(findings) == ["cache-discipline"]
+        assert "CorridorEngine" in findings[0].message
+
+    def test_reconstruct_all_call_flagged(self, tmp_path):
+        source = """
+            from repro.core import reconstruct_all
+            networks = reconstruct_all(database, corridor, date)
+        """
+        assert rule_names(
+            findings_for(
+                tmp_path, source,
+                rules=("cache-discipline",), rule_options=self.OPTIONS,
+            )
+        ) == ["cache-discipline"]
+
+    def test_allowed_file_is_exempt(self, tmp_path):
+        source = """
+            kernel = NetworkReconstructor(corridor)
+        """
+        assert findings_for(
+            tmp_path, source, name="allowed/engine.py",
+            rules=("cache-discipline",), rule_options=self.OPTIONS,
+        ) == []
+
+    def test_annotation_reference_ok(self, tmp_path):
+        source = """
+            from __future__ import annotations
+            from repro.core.reconstruction import NetworkReconstructor
+
+            def f(reconstructor: NetworkReconstructor | None = None) -> None:
+                pass
+        """
+        assert findings_for(
+            tmp_path, source,
+            rules=("cache-discipline",), rule_options=self.OPTIONS,
+        ) == []
+
+
+class TestFloatEq:
+    OPTIONS = {"float-eq": {"paths": ["numeric/"]}}
+
+    def test_float_literal_equality_flagged_in_scope(self, tmp_path):
+        source = """
+            if distance == 0.0:
+                pass
+            if 1.5 != ratio:
+                pass
+        """
+        assert rule_names(
+            findings_for(
+                tmp_path, source, name="numeric/kernel.py",
+                rules=("float-eq",), rule_options=self.OPTIONS,
+            )
+        ) == ["float-eq"] * 2
+
+    def test_negative_literal_flagged(self, tmp_path):
+        source = """
+            if offset == -1.0:
+                pass
+        """
+        assert rule_names(
+            findings_for(
+                tmp_path, source, name="numeric/kernel.py",
+                rules=("float-eq",), rule_options=self.OPTIONS,
+            )
+        ) == ["float-eq"]
+
+    def test_out_of_scope_file_ignored(self, tmp_path):
+        source = """
+            if distance == 0.0:
+                pass
+        """
+        assert findings_for(
+            tmp_path, source, name="other/driver.py",
+            rules=("float-eq",), rule_options=self.OPTIONS,
+        ) == []
+
+    def test_ordering_comparisons_and_int_literals_ok(self, tmp_path):
+        source = """
+            if distance < 0.0 or count == 0 or distance >= 1.5:
+                pass
+        """
+        assert findings_for(
+            tmp_path, source, name="numeric/kernel.py",
+            rules=("float-eq",), rule_options=self.OPTIONS,
+        ) == []
+
+
+class TestHygiene:
+    def test_mutable_defaults_flagged(self, tmp_path):
+        source = """
+            def f(items=[], table={}, tags=set()):
+                pass
+        """
+        assert rule_names(
+            findings_for(tmp_path, source, rules=("mutable-default",))
+        ) == ["mutable-default"] * 3
+
+    def test_none_default_ok(self, tmp_path):
+        source = """
+            def f(items=None, name="x", count=0, point=(1, 2)):
+                pass
+        """
+        assert findings_for(tmp_path, source, rules=("mutable-default",)) == []
+
+    def test_bare_and_broad_except_flagged(self, tmp_path):
+        source = """
+            try:
+                work()
+            except:
+                pass
+            try:
+                work()
+            except Exception:
+                pass
+        """
+        assert rule_names(
+            findings_for(tmp_path, source, rules=("broad-except",))
+        ) == ["broad-except"] * 2
+
+    def test_specific_except_ok(self, tmp_path):
+        source = """
+            try:
+                work()
+            except (ValueError, KeyError) as error:
+                raise RuntimeError("context") from error
+        """
+        assert findings_for(tmp_path, source, rules=("broad-except",)) == []
+
+
+class TestUnitSuffix:
+    def test_additive_mix_flagged(self, tmp_path):
+        source = """
+            total = trunk_km + tail_m
+        """
+        findings = findings_for(tmp_path, source, rules=("unit-suffix",))
+        assert rule_names(findings) == ["unit-suffix"]
+        assert "'_km'" in findings[0].message and "'_m'" in findings[0].message
+
+    def test_comparison_mix_flagged(self, tmp_path):
+        source = """
+            if overhead_us > budget_ms:
+                pass
+        """
+        assert rule_names(
+            findings_for(tmp_path, source, rules=("unit-suffix",))
+        ) == ["unit-suffix"]
+
+    def test_augmented_assignment_mix_flagged(self, tmp_path):
+        source = """
+            length_m += extension_km
+        """
+        assert rule_names(
+            findings_for(tmp_path, source, rules=("unit-suffix",))
+        ) == ["unit-suffix"]
+
+    def test_same_unit_and_cross_dimension_ok(self, tmp_path):
+        source = """
+            total_m = trunk_m + tail_m
+            rate = distance_km + 5.0
+            weird = latency_ms + distance_km  # different dimensions: allowed
+        """
+        assert findings_for(tmp_path, source, rules=("unit-suffix",)) == []
+
+    def test_conversion_via_division_ok(self, tmp_path):
+        source = """
+            geodesic_km = corridor.geodesic_m(a, b) / 1000.0
+            total_km = geodesic_km + bypass_km
+        """
+        assert findings_for(tmp_path, source, rules=("unit-suffix",)) == []
+
+    def test_call_results_carry_units(self, tmp_path):
+        source = """
+            stretch = corridor.geodesic_m(a, b) - route.length_km
+        """
+        assert rule_names(
+            findings_for(tmp_path, source, rules=("unit-suffix",))
+        ) == ["unit-suffix"]
+
+    def test_ms_not_mistaken_for_s(self, tmp_path):
+        source = """
+            total_ms = latency_ms + overhead_ms
+        """
+        assert findings_for(tmp_path, source, rules=("unit-suffix",)) == []

@@ -1,0 +1,86 @@
+"""Regression test for the ``hash(name)`` seed bug (repro.lint's catch).
+
+``_split_half_licenses`` used to seed its RNG with ``hash(name)`` — the
+builtin string hash is randomised per process (``PYTHONHASHSEED``), so the
+"deterministic" synthetic licenses could differ between two interpreter
+runs.  The seed is now a stable CRC-32 digest; this test pins the whole
+scenario's byte-level determinism by generating it in two subprocesses
+with *different* hash seeds and comparing full ULS-dump serialisations.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The child generates the split-network and funnel licenses (the code
+#: paths seeded per licensee *name*) plus one calibrated network build,
+#: serialises everything with the pipe-delimited ULS dump writer, and
+#: prints a digest of the exact bytes.
+_CHILD_SCRIPT = """
+import hashlib
+from repro.core.corridor import chicago_nj_corridor
+from repro.synth.scenario import (
+    decoy_licenses,
+    partial_builder_licenses,
+    split_network_east_licenses,
+    split_network_west_licenses,
+)
+from repro.uls.dumpio import dumps
+
+corridor = chicago_nj_corridor()
+licenses = (
+    split_network_west_licenses(corridor)
+    + split_network_east_licenses(corridor)
+    + partial_builder_licenses(corridor)
+    + decoy_licenses(corridor)
+)
+payload = dumps(licenses).encode()
+print(hashlib.sha256(payload).hexdigest())
+"""
+
+
+def _generate_digest(hash_seed: str) -> str:
+    process = subprocess.run(
+        [sys.executable, "-c", _CHILD_SCRIPT],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env={
+            "PYTHONPATH": str(REPO_ROOT / "src"),
+            "PYTHONHASHSEED": hash_seed,
+            "PATH": "/usr/bin:/bin",
+        },
+    )
+    assert process.returncode == 0, process.stderr
+    return process.stdout.strip()
+
+
+@pytest.mark.parametrize("seeds", [("0", "1")])
+def test_generation_identical_across_hash_seeds(seeds):
+    """Byte-identical license generation under PYTHONHASHSEED=0 and =1."""
+    first, second = (_generate_digest(seed) for seed in seeds)
+    assert first == second
+
+
+def test_string_hash_actually_differs_across_child_processes():
+    """Sanity check that the harness exercises what it claims: the builtin
+    string hash *does* differ between the two child environments, so equal
+    digests above cannot be explained by equal hash() values."""
+    script = "print(hash('Midwest Relay Partners'))"
+    values = set()
+    for seed in ("0", "1"):
+        process = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+        )
+        assert process.returncode == 0, process.stderr
+        values.add(process.stdout.strip())
+    assert len(values) == 2
