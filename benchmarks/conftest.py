@@ -7,10 +7,12 @@ published values alongside) to ``benchmarks/output/``.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
 
+from repro import obs
 from repro.synth.scenario import paper2020_scenario
 
 OUTPUT_DIR = Path(__file__).parent / "output"
@@ -39,3 +41,24 @@ def emit(output_dir: Path, name: str, text: str) -> None:
     path = output_dir / name
     path.write_text(text + "\n", encoding="utf-8")
     print(f"\n=== {name} ===\n{text}")
+
+
+@pytest.fixture
+def obs_metrics(request, output_dir):
+    """Per-phase metrics captured alongside the benchmark's wall time.
+
+    Everything the benchmark body runs is observed (span histograms,
+    cache hit/miss counters); on teardown the registry snapshot lands in
+    ``benchmarks/output/<test>.metrics.json`` next to the wall-time
+    artefacts, so a perf regression can be attributed to a phase (stitch
+    vs fiber vs routing) instead of re-profiled from scratch.  Note the
+    numbers aggregate over *every* timed iteration pytest-benchmark runs.
+    """
+    with obs.capture() as cap:
+        yield cap
+    name = request.node.name.removeprefix("test_bench_").removeprefix("test_")
+    path = output_dir / f"{name}.metrics.json"
+    path.write_text(
+        json.dumps(cap.registry.snapshot(), indent=2) + "\n",
+        encoding="utf-8",
+    )

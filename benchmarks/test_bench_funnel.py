@@ -15,7 +15,9 @@ from conftest import emit
 PAPER_COUNTS = (57, 29, 9)
 
 
-def test_bench_funnel(benchmark, scenario, output_dir):
+def test_bench_funnel(benchmark, scenario, output_dir, obs_metrics):
+    # obs_metrics writes funnel.metrics.json: per-phase span histograms
+    # (search/shortlist/connect, stitch, fiber) for every timed iteration.
     result = benchmark(
         run_scraping_funnel,
         scenario.database,

@@ -1,7 +1,16 @@
 #!/usr/bin/env bash
-# Tier-1 gate: syntax, static analysis, then the full test suite plus the
-# engine-equivalence property tests (cached results must match cache-free
-# reconstruction exactly).
+# Tier-1 gate: syntax, static analysis, then the full test suite — twice.
+#
+# The second pytest pass runs with --ff (failed-first): anything the
+# first pass failed runs again at the *front* of the collection, in a
+# fresh process.  A test that genuinely fails, fails twice; a test that
+# only failed (or only passed) because an earlier test warmed a
+# process-wide cache — the lru-cached scenario, the shared
+# CorridorEngine, an obs session leaking out of a fixture — changes
+# verdict between the passes and is exposed as ordering-dependent.
+# Finally, the engine-equivalence property tests re-run standalone
+# (cached results must match cache-free reconstruction exactly, even in
+# a fresh interpreter).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -10,9 +19,13 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 python -m compileall -q src
 
 # Project linter (repro.lint): determinism, cache discipline, float and
-# unit safety.  Fails on any finding not covered by an inline pragma or
-# the committed baseline (lint-baseline.json).
+# unit safety, obs timing discipline.  Fails on any finding not covered
+# by an inline pragma or the committed baseline (lint-baseline.json).
 python -m repro lint
 
-python -m pytest -x -q
+# Full suite, then the ordering-independence pass.
+python -m pytest -q
+python -m pytest -q --ff
+
+# Engine equivalence in a fresh interpreter.
 python -m pytest -x -q tests/test_engine.py

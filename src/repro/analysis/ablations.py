@@ -20,6 +20,7 @@ from __future__ import annotations
 import datetime as dt
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.latency import LatencyModel
 from repro.metrics.apa import apa_percent
 from repro.metrics.rankings import rank_connected_networks
@@ -38,8 +39,12 @@ def apa_slack_sweep(
     from the shared engine serves every slack value.
     """
     date = on_date or scenario.snapshot_date
-    network = scenario.engine().snapshot(licensee, date)
-    return {slack: apa_percent(network, "CME", "NY4", slack=slack) for slack in slacks}
+    with obs.span("analysis.ablation", sweep="apa-slack", knobs=len(slacks)):
+        network = scenario.engine().snapshot(licensee, date)
+        return {
+            slack: apa_percent(network, "CME", "NY4", slack=slack)
+            for slack in slacks
+        }
 
 
 def fiber_mode_comparison(
@@ -56,9 +61,10 @@ def fiber_mode_comparison(
     """
     date = on_date or scenario.snapshot_date
     result = {}
-    for mode in ("nearest", "all"):
-        network = scenario.engine(fiber_mode=mode).snapshot(licensee, date)
-        result[mode] = apa_percent(network, "CME", "NY4")
+    with obs.span("analysis.ablation", sweep="fiber-mode", knobs=2):
+        for mode in ("nearest", "all"):
+            network = scenario.engine(fiber_mode=mode).snapshot(licensee, date)
+            result[mode] = apa_percent(network, "CME", "NY4")
     return result
 
 
@@ -83,6 +89,13 @@ def per_tower_overhead_crossover(
     overtakes NLN once the per-tower cost exceeds ~1.4 µs.
     """
     date = on_date or scenario.snapshot_date
+    with obs.span(
+        "analysis.ablation", sweep="per-tower-overhead", knobs=len(overheads_us)
+    ):
+        return _overhead_crossovers(scenario, overheads_us, licensees, date)
+
+
+def _overhead_crossovers(scenario, overheads_us, licensees, date):
     results = []
     for overhead_us in overheads_us:
         model = LatencyModel(per_tower_overhead_s=overhead_us * 1e-6)
@@ -114,11 +127,17 @@ def stitch_tolerance_sweep(
     """
     date = on_date or scenario.snapshot_date
     result = {}
-    for tolerance in tolerances_m:
-        network = scenario.engine(stitch_tolerance_m=tolerance).snapshot(
-            licensee, date
-        )
-        result[tolerance] = (network.tower_count, network.is_connected("CME", "NY4"))
+    with obs.span(
+        "analysis.ablation", sweep="stitch-tolerance", knobs=len(tolerances_m)
+    ):
+        for tolerance in tolerances_m:
+            network = scenario.engine(stitch_tolerance_m=tolerance).snapshot(
+                licensee, date
+            )
+            result[tolerance] = (
+                network.tower_count,
+                network.is_connected("CME", "NY4"),
+            )
     return result
 
 
@@ -130,13 +149,16 @@ def fiber_radius_sweep(
     """How many networks stay CME–NY4 connected as the fiber reach shrinks."""
     date = on_date or scenario.snapshot_date
     result = {}
-    for radius_km in radii_km:
-        rankings = rank_connected_networks(
-            scenario.database,
-            scenario.corridor,
-            date,
-            licensees=list(scenario.connected_names),
-            engine=scenario.engine(max_fiber_tail_m=radius_km * 1000.0),
-        )
-        result[radius_km] = len(rankings)
+    with obs.span(
+        "analysis.ablation", sweep="fiber-radius", knobs=len(radii_km)
+    ):
+        for radius_km in radii_km:
+            rankings = rank_connected_networks(
+                scenario.database,
+                scenario.corridor,
+                date,
+                licensees=list(scenario.connected_names),
+                engine=scenario.engine(max_fiber_tail_m=radius_km * 1000.0),
+            )
+            result[radius_km] = len(rankings)
     return result

@@ -6,6 +6,7 @@ import datetime as dt
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro import obs
 from repro.core.timeline import (
     LicenseCountSeries,
     TimelinePoint,
@@ -34,10 +35,13 @@ def fig1_latency_evolution(
     licensees = licensees or scenario.featured_names
     dates = dates or yearly_snapshot_dates()
     engine = scenario.engine()
-    return {
-        name: engine.timeline(name, dates, source=source, target=target)
-        for name in licensees
-    }
+    with obs.span(
+        "analysis.fig1", licensees=len(licensees), points=len(dates)
+    ):
+        return {
+            name: engine.timeline(name, dates, source=source, target=target)
+            for name in licensees
+        }
 
 
 def fig2_active_licenses(
@@ -48,10 +52,13 @@ def fig2_active_licenses(
     """Fig 2: active-license counts for the same networks."""
     licensees = licensees or scenario.featured_names
     dates = dates or yearly_snapshot_dates()
-    return {
-        name: license_count_timeline(scenario.database, name, dates)
-        for name in licensees
-    }
+    with obs.span(
+        "analysis.fig2", licensees=len(licensees), points=len(dates)
+    ):
+        return {
+            name: license_count_timeline(scenario.database, name, dates)
+            for name in licensees
+        }
 
 
 @dataclass(frozen=True)

@@ -11,6 +11,7 @@ from __future__ import annotations
 import datetime as dt
 from dataclasses import dataclass
 
+from repro import obs
 from repro.constants import (
     CME_SEARCH_RADIUS_M,
     MIN_FILINGS_FOR_SHORTLIST,
@@ -68,35 +69,43 @@ def run_scraping_funnel(
     scraper = UlsScraper(portal)
     cme = corridor.site(source).point
 
-    # Stage 1: geographic search around CME, then the site-based MG/FXO
-    # filter applied to the scraped rows.
-    rows = scraper.geographic_search(cme.latitude, cme.longitude, radius_m / 1000.0)
-    candidates = sorted(
-        {
-            row["licensee_name"]
-            for row in rows
-            if row["radio_service_code"] == RADIO_SERVICE_MG
-            and row["station_class"] == STATION_CLASS_FXO
-        }
-    )
+    with obs.span("analysis.funnel", date=on_date.isoformat()):
+        # Stage 1: geographic search around CME, then the site-based
+        # MG/FXO filter applied to the scraped rows.
+        with obs.span("analysis.funnel.search"):
+            rows = scraper.geographic_search(
+                cme.latitude, cme.longitude, radius_m / 1000.0
+            )
+            candidates = sorted(
+                {
+                    row["licensee_name"]
+                    for row in rows
+                    if row["radio_service_code"] == RADIO_SERVICE_MG
+                    and row["station_class"] == STATION_CLASS_FXO
+                }
+            )
 
-    # Stage 2: scrape every candidate's license list; shortlist licensees
-    # with enough filings to span the corridor.
-    shortlisted = [
-        name
-        for name in candidates
-        if len(scraper.licenses_of(name)) >= min_filings
-    ]
+        # Stage 2: scrape every candidate's license list; shortlist
+        # licensees with enough filings to span the corridor.
+        with obs.span("analysis.funnel.shortlist", candidates=len(candidates)):
+            shortlisted = [
+                name
+                for name in candidates
+                if len(scraper.licenses_of(name)) >= min_filings
+            ]
 
-    # Stage 3: scrape the shortlisted licensees' license details and
-    # reconstruct their networks at the snapshot date.
-    connected = []
-    for name in shortlisted:
-        licenses = scraper.scrape_licensee(name)
-        grouped = licenses_by_licensee(licenses)
-        network = engine.snapshot_from_licenses(grouped[name], on_date, licensee=name)
-        if network.is_connected(source, target):
-            connected.append(name)
+        # Stage 3: scrape the shortlisted licensees' license details and
+        # reconstruct their networks at the snapshot date.
+        connected = []
+        with obs.span("analysis.funnel.connect", shortlisted=len(shortlisted)):
+            for name in shortlisted:
+                licenses = scraper.scrape_licensee(name)
+                grouped = licenses_by_licensee(licenses)
+                network = engine.snapshot_from_licenses(
+                    grouped[name], on_date, licensee=name
+                )
+                if network.is_connected(source, target):
+                    connected.append(name)
 
     return FunnelResult(
         candidate_licensees=tuple(candidates),

@@ -5,6 +5,7 @@ from __future__ import annotations
 import datetime as dt
 from dataclasses import dataclass
 
+from repro import obs
 from repro.metrics.apa import apa_percent
 from repro.metrics.rankings import (
     NetworkRanking,
@@ -23,14 +24,15 @@ def table1_connected_networks(
 ) -> list[NetworkRanking]:
     """Table 1: connected networks by increasing CME–NY4 latency."""
     date = on_date or scenario.snapshot_date
-    return rank_connected_networks(
-        scenario.database,
-        scenario.corridor,
-        date,
-        source=source,
-        target=target,
-        engine=scenario.engine(),
-    )
+    with obs.span("analysis.table1", date=date.isoformat()):
+        return rank_connected_networks(
+            scenario.database,
+            scenario.corridor,
+            date,
+            source=source,
+            target=target,
+            engine=scenario.engine(),
+        )
 
 
 def table2_top_networks(
@@ -40,13 +42,14 @@ def table2_top_networks(
 ) -> list[PathTopRanking]:
     """Table 2: the fastest ``top_n`` networks per corridor path."""
     date = on_date or scenario.snapshot_date
-    return top_networks_per_path(
-        scenario.database,
-        scenario.corridor,
-        date,
-        top_n=top_n,
-        engine=scenario.engine(),
-    )
+    with obs.span("analysis.table2", date=date.isoformat()):
+        return top_networks_per_path(
+            scenario.database,
+            scenario.corridor,
+            date,
+            top_n=top_n,
+            engine=scenario.engine(),
+        )
 
 
 @dataclass(frozen=True)
@@ -65,16 +68,17 @@ def table3_apa(
     """Table 3: per-path APA for selected networks (paper: NLN vs WH)."""
     date = on_date or scenario.snapshot_date
     engine = scenario.engine()
-    networks = {name: engine.snapshot(name, date) for name in licensees}
-    rows = []
-    for source, target in scenario.corridor.paths:
-        rows.append(
-            ApaRow(
-                path=(source, target),
-                values={
-                    name: apa_percent(network, source, target)
-                    for name, network in networks.items()
-                },
+    with obs.span("analysis.table3", date=date.isoformat()):
+        networks = {name: engine.snapshot(name, date) for name in licensees}
+        rows = []
+        for source, target in scenario.corridor.paths:
+            rows.append(
+                ApaRow(
+                    path=(source, target),
+                    values={
+                        name: apa_percent(network, source, target)
+                        for name, network in networks.items()
+                    },
+                )
             )
-        )
-    return rows
+        return rows

@@ -408,6 +408,22 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _obs_parent_parser() -> argparse.ArgumentParser:
+    """The ``--trace``/``--metrics`` flag pair shared by every subcommand."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("observability")
+    group.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write a JSON-lines span trace of the command to FILE",
+    )
+    group.add_argument(
+        "--metrics", action="store_true",
+        help="after the command, print a metrics summary (cache hit "
+        "counts, span timings) to stderr",
+    )
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="hftnetview",
@@ -420,6 +436,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="after the command, print the shared engine's snapshot/route/"
         "geodesic cache statistics to stderr",
     )
+    obs_parent = _obs_parent_parser()
     sub = parser.add_subparsers(dest="command", required=True)
 
     for name, func, help_text in (
@@ -429,50 +446,64 @@ def build_parser() -> argparse.ArgumentParser:
         ("table3", _cmd_table3, "per-path APA, NLN vs WH (Table 3)"),
         ("timeline", _cmd_timeline, "Fig 1/2 longitudinal series"),
     ):
-        cmd = sub.add_parser(name, help=help_text)
+        cmd = sub.add_parser(name, help=help_text, parents=[obs_parent])
         cmd.add_argument("--date", type=_parse_date, default=None,
                          help="snapshot date (YYYY-MM-DD; default 2020-04-01)")
         cmd.set_defaults(func=func)
 
-    export = sub.add_parser("export", help="export a network snapshot")
+    export = sub.add_parser(
+        "export", help="export a network snapshot", parents=[obs_parent]
+    )
     export.add_argument("licensee", help='e.g. "New Line Networks"')
     export.add_argument("--date", type=_parse_date, default=None)
     export.add_argument("--output-dir", default="out")
     export.set_defaults(func=_cmd_export)
 
-    leo = sub.add_parser("leo", help="Fig 5 latency comparison sweep")
+    leo = sub.add_parser(
+        "leo", help="Fig 5 latency comparison sweep", parents=[obs_parent]
+    )
     leo.add_argument("--full", action="store_true", help="print every distance")
     leo.set_defaults(func=_cmd_leo)
 
-    entities = sub.add_parser("entities", help="resolve co-owned licensees")
+    entities = sub.add_parser(
+        "entities", help="resolve co-owned licensees", parents=[obs_parent]
+    )
     entities.add_argument("--date", type=_parse_date, default=None)
     entities.set_defaults(func=_cmd_entities)
 
-    weather = sub.add_parser("weather", help="effective latency under storms")
+    weather = sub.add_parser(
+        "weather", help="effective latency under storms", parents=[obs_parent]
+    )
     weather.add_argument("--date", type=_parse_date, default=None)
     weather.add_argument("--storms", type=int, default=25)
     weather.set_defaults(func=_cmd_weather)
 
     stability = sub.add_parser(
-        "stability", help="ranking flips under per-tower overhead"
+        "stability", help="ranking flips under per-tower overhead",
+        parents=[obs_parent],
     )
     stability.add_argument("--max-overhead", type=float, default=3.0,
                            help="per-tower overhead range, microseconds")
     stability.set_defaults(func=_cmd_stability)
 
-    design = sub.add_parser("design", help="design a corridor network (§6)")
+    design = sub.add_parser(
+        "design", help="design a corridor network (§6)", parents=[obs_parent]
+    )
     design.add_argument("--trunk-budget", type=float, default=45.0)
     design.add_argument("--bypass-budget", type=float, default=18.0)
     design.add_argument("--seed", type=int, default=3)
     design.set_defaults(func=_cmd_design)
 
-    diff = sub.add_parser("diff", help="corridor changes between two dates")
+    diff = sub.add_parser(
+        "diff", help="corridor changes between two dates", parents=[obs_parent]
+    )
     diff.add_argument("start", type=_parse_date, help="YYYY-MM-DD")
     diff.add_argument("end", type=_parse_date, help="YYYY-MM-DD")
     diff.set_defaults(func=_cmd_diff)
 
     lint = sub.add_parser(
-        "lint", help="run the project's static-analysis rules"
+        "lint", help="run the project's static-analysis rules",
+        parents=[obs_parent],
     )
     lint.add_argument(
         "paths", nargs="*",
@@ -509,7 +540,27 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    status = args.func(args)
+    trace_path = getattr(args, "trace", None)
+    want_metrics = getattr(args, "metrics", False)
+    trace_sink = None
+    if trace_path or want_metrics:
+        from repro import obs
+
+        sinks = []
+        if trace_path:
+            trace_sink = obs.JsonLinesSink(Path(trace_path))
+            sinks.append(trace_sink)
+        obs.enable(sinks=tuple(sinks))
+    try:
+        status = args.func(args)
+    finally:
+        if trace_path or want_metrics:
+            registry = obs.disable()
+            if trace_sink is not None:
+                trace_sink.close()
+                print(f"wrote span trace to {trace_path}", file=sys.stderr)
+            if want_metrics and registry is not None:
+                print(obs.render_metrics(registry), file=sys.stderr)
     if args.cache_stats:
         print(paper2020_scenario().engine().stats.describe(), file=sys.stderr)
     return status

@@ -43,6 +43,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable, Iterable, Sequence
 
+from repro import obs
 from repro.core.corridor import CorridorSpec
 from repro.core.latency import LatencyModel
 from repro.core.network import HftNetwork, Route
@@ -282,7 +283,8 @@ class CorridorEngine:
         returned network always carries the requested ``as_of`` date, even
         when its topology was stitched for an earlier query.
         """
-        network = self._snapshot_cached(licensee, on_date)
+        with obs.span("engine.snapshot", licensee=licensee):
+            network = self._snapshot_cached(licensee, on_date)
         return network.with_as_of(on_date)
 
     def _snapshot_cached(self, licensee: str, on_date: dt.date) -> HftNetwork:
@@ -290,11 +292,37 @@ class CorridorEngine:
         key = self.snapshot_key(licensee, on_date)
         network = self._snapshots.get(key)
         if network is None:
-            with use_memo(self._geodesic_memo):
-                network = self.reconstructor.reconstruct_licensee(
+            obs.count("engine.snapshot.miss")
+            network = self._reconstruct_memoised(
+                lambda: self.reconstructor.reconstruct_licensee(
                     self.database, licensee, on_date
-                )
+                ),
+                licensee,
+            )
             self._snapshots.put(key, network)
+        else:
+            obs.count("engine.snapshot.hit")
+        return network
+
+    def _reconstruct_memoised(self, build, licensee: str) -> HftNetwork:
+        """Run one reconstruction under the engine's geodesic memo.
+
+        The ``geodesy.memo`` span covers the window the memo is installed
+        for; its hit/miss deltas (this reconstruction only) are tagged on
+        the span and accumulated into the session counters.
+        """
+        memo = self._geodesic_memo
+        hits_before, misses_before = memo.hits, memo.misses
+        with obs.span("engine.snapshot.build", licensee=licensee):
+            with obs.span("geodesy.memo", licensee=licensee) as memo_span:
+                with use_memo(memo):
+                    network = build()
+                memo_span.tag(
+                    hits=memo.hits - hits_before,
+                    misses=memo.misses - misses_before,
+                )
+            obs.count("geodesy.memo.hit", memo.hits - hits_before)
+            obs.count("geodesy.memo.miss", memo.misses - misses_before)
         return network
 
     def snapshot_from_licenses(
@@ -325,13 +353,19 @@ class CorridorEngine:
             lic.license_id for lic in license_list if lic.is_active(on_date)
         )
         key = (licensee, fingerprint, self.params_key)
-        network = self._snapshots.get(key)
-        if network is None:
-            with use_memo(self._geodesic_memo):
-                network = self.reconstructor.reconstruct(
-                    license_list, on_date, licensee=licensee
+        with obs.span("engine.snapshot", licensee=licensee, source="licenses"):
+            network = self._snapshots.get(key)
+            if network is None:
+                obs.count("engine.snapshot.miss")
+                network = self._reconstruct_memoised(
+                    lambda: self.reconstructor.reconstruct(
+                        license_list, on_date, licensee=licensee
+                    ),
+                    licensee,
                 )
-            self._snapshots.put(key, network)
+                self._snapshots.put(key, network)
+            else:
+                obs.count("engine.snapshot.hit")
         return network.with_as_of(on_date)
 
     def route(
@@ -346,9 +380,15 @@ class CorridorEngine:
         key = (snapshot_key, source, target)
         route = self._routes.get(key, _MISSING)
         if route is _MISSING:
-            network = self._snapshot_cached(licensee, on_date)
-            route = network.lowest_latency_route(source, target)
+            obs.count("engine.route.miss")
+            with obs.span(
+                "engine.route", licensee=licensee, source=source, target=target
+            ):
+                network = self._snapshot_cached(licensee, on_date)
+                route = network.lowest_latency_route(source, target)
             self._routes.put(key, route)
+        else:
+            obs.count("engine.route.hit")
         return route
 
     def is_connected(
@@ -392,6 +432,23 @@ class CorridorEngine:
         Consecutive dates whose active license set is unchanged hit the
         snapshot *and* route caches — the dominant case on a fine grid.
         """
+        points = []
+        with obs.span(
+            "engine.timeline",
+            licensee=licensee,
+            points=len(dates),
+            source=source,
+            target=target,
+        ):
+            return self._timeline_points(licensee, dates, source, target)
+
+    def _timeline_points(
+        self,
+        licensee: str,
+        dates: Sequence[dt.date],
+        source: str,
+        target: str,
+    ) -> list[TimelinePoint]:
         points = []
         for date in dates:
             route = self.route(licensee, date, source, target)

@@ -15,6 +15,7 @@ from typing import Iterable
 
 import networkx as nx
 
+from repro import obs
 from repro.core.corridor import CorridorSpec, DataCenterSite
 from repro.core.latency import LatencyModel, seconds_to_ms
 from repro.geodesy import GeoPoint
@@ -218,12 +219,15 @@ class HftNetwork:
         graph = self.graph
         if source not in graph or target not in graph:
             return None
-        try:
-            latency, nodes = nx.single_source_dijkstra(
-                graph, source, target, weight=self._edge_weight
-            )
-        except nx.NetworkXNoPath:
-            return None
+        with obs.span(
+            "core.routing", licensee=self.licensee, source=source, target=target
+        ):
+            try:
+                latency, nodes = nx.single_source_dijkstra(
+                    graph, source, target, weight=self._edge_weight
+                )
+            except nx.NetworkXNoPath:
+                return None
         length = 0.0
         mw_length = 0.0
         fiber_length = 0.0

@@ -13,6 +13,7 @@ from __future__ import annotations
 import datetime as dt
 from typing import Iterable
 
+from repro import obs
 from repro.constants import MAX_FIBER_TAIL_M, STITCH_TOLERANCE_M
 from repro.core.corridor import CorridorSpec
 from repro.core.fiber import attach_fiber_tails
@@ -81,10 +82,15 @@ class NetworkReconstructor:
             licensee = next(iter(names)) if names else "(empty)"
 
         active = active_licenses(license_list, on_date)
-        towers, links = stitch_licenses(active, self.stitch_tolerance_m)
-        tails = attach_fiber_tails(
-            self.corridor.data_centers, towers, self.max_fiber_tail_m, self.fiber_mode
-        )
+        with obs.span("core.stitch", licensee=licensee, licenses=len(active)):
+            towers, links = stitch_licenses(active, self.stitch_tolerance_m)
+        with obs.span("core.fiber", licensee=licensee, towers=len(towers)):
+            tails = attach_fiber_tails(
+                self.corridor.data_centers,
+                towers,
+                self.max_fiber_tail_m,
+                self.fiber_mode,
+            )
         return HftNetwork(
             licensee=licensee,
             as_of=on_date,

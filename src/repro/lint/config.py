@@ -54,6 +54,13 @@ DEFAULT_UNIT_GROUPS = (
     ("_s", "_ms", "_us"),
 )
 
+#: Path prefixes allowed to read process timers directly; everything else
+#: must time through ``repro.obs`` spans.
+DEFAULT_OBS_ALLOWED = (
+    "src/repro/obs/",
+    "benchmarks/",
+)
+
 _KNOWN_TOP_KEYS = {"enable", "baseline", "default_paths"}
 
 
@@ -92,6 +99,10 @@ class LintConfig:
         if groups is None:
             return DEFAULT_UNIT_GROUPS
         return tuple(tuple(group) for group in groups)
+
+    def obs_allowed_paths(self) -> tuple[str, ...]:
+        allowed = self.options_for("obs-discipline").get("allowed")
+        return tuple(allowed) if allowed is not None else DEFAULT_OBS_ALLOWED
 
 
 def find_project_root(start: Path | None = None) -> Path:

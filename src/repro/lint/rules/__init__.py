@@ -15,5 +15,6 @@ from repro.lint.rules import (  # noqa: F401  (imports register the rules)
     determinism,
     floats,
     hygiene,
+    obs,
     units,
 )

@@ -1,0 +1,173 @@
+"""Span sinks: in-memory (tests), JSON-lines (files), text summary (humans).
+
+A sink is anything with ``emit(record: SpanRecord) -> None``; sinks that
+hold OS resources also expose ``close()``.  Sinks receive spans in
+*completion* order (children before parents) and re-nest by ``parent_id``
+when they need the tree.
+"""
+
+from __future__ import annotations
+
+import json
+from io import TextIOBase
+from pathlib import Path
+from typing import IO
+
+from repro.obs.spans import SpanRecord
+
+#: Version stamped into every trace file; bump on any key change to the
+#: per-span line schema below (tests pin both).
+TRACE_SCHEMA_VERSION = 1
+
+#: The exact key order of a ``"span"`` line in a JSON-lines trace.
+SPAN_LINE_KEYS = (
+    "type", "id", "parent", "depth", "name", "start_us", "duration_us", "attrs",
+)
+
+
+class InMemorySink:
+    """Collects records in a list — the sink tests and fixtures use."""
+
+    def __init__(self) -> None:
+        self.records: list[SpanRecord] = []
+
+    def emit(self, record: SpanRecord) -> None:
+        self.records.append(record)
+
+    def names(self) -> list[str]:
+        """Span names in completion order."""
+        return [record.name for record in self.records]
+
+    def tree(self) -> list[tuple[int, str]]:
+        """(depth, name) pairs in *start* order — the span tree flattened."""
+        return [
+            (record.depth, record.name)
+            for record in sorted(self.records, key=lambda r: r.span_id)
+        ]
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+def _json_safe(value: object) -> object:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+def span_line(record: SpanRecord) -> str:
+    """One trace line for ``record`` (stable key order, compact floats)."""
+    payload = {
+        "type": "span",
+        "id": record.span_id,
+        "parent": record.parent_id,
+        "depth": record.depth,
+        "name": record.name,
+        "start_us": round(record.start_us, 3),
+        "duration_us": round(record.duration_us, 3),
+        "attrs": {key: _json_safe(value) for key, value in record.attrs},
+    }
+    return json.dumps(payload, separators=(",", ":"))
+
+
+class JsonLinesSink:
+    """Streams spans to a ``.jsonl`` trace file (or any text stream).
+
+    The first line is a ``{"type": "trace", "version": N}`` header; every
+    later line is one completed span.  Given a path, the sink owns the
+    file handle (creating parent directories) and ``close()`` releases it;
+    given a stream, the caller keeps ownership.
+    """
+
+    def __init__(self, target: str | Path | IO[str]) -> None:
+        if isinstance(target, (str, Path)):
+            path = Path(target)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream: IO[str] = open(path, "w", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+        self._stream.write(
+            json.dumps(
+                {"type": "trace", "version": TRACE_SCHEMA_VERSION},
+                separators=(",", ":"),
+            )
+            + "\n"
+        )
+
+    def emit(self, record: SpanRecord) -> None:
+        self._stream.write(span_line(record) + "\n")
+
+    def close(self) -> None:
+        if self._owns_stream and not self._stream.closed:
+            self._stream.close()
+        elif not self._owns_stream:
+            self._stream.flush()
+
+
+class TextSummarySink:
+    """Aggregates spans per name and renders a human table.
+
+    Useful as a cheap trailing report: it keeps only per-name aggregates
+    (count, total/min/max duration), never individual spans.
+    """
+
+    def __init__(self, stream: IO[str] | None = None) -> None:
+        self._stream = stream
+        self._totals: dict[str, list[float]] = {}
+
+    def emit(self, record: SpanRecord) -> None:
+        entry = self._totals.get(record.name)
+        if entry is None:
+            self._totals[record.name] = [
+                1, record.duration_us, record.duration_us, record.duration_us
+            ]
+        else:
+            entry[0] += 1
+            entry[1] += record.duration_us
+            entry[2] = min(entry[2], record.duration_us)
+            entry[3] = max(entry[3], record.duration_us)
+
+    def render(self) -> str:
+        lines = ["span summary (us):"]
+        for name, (count, total, low, high) in sorted(self._totals.items()):
+            lines.append(
+                f"  {name:32s} n={count:<6d} total={total:12.1f}  "
+                f"mean={total / count:10.1f}  min={low:10.1f}  max={high:10.1f}"
+            )
+        if len(lines) == 1:
+            lines.append("  (no spans recorded)")
+        return "\n".join(lines)
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.write(self.render() + "\n")
+            if not isinstance(self._stream, TextIOBase) or not self._stream.closed:
+                self._stream.flush()
+
+
+def read_trace(path: str | Path) -> list[dict]:
+    """Parse a JSON-lines trace file, validating the header.
+
+    Returns the span dicts (header excluded); raises ``ValueError`` on a
+    missing/mismatched header or malformed line.
+    """
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    if not lines:
+        raise ValueError(f"{path}: empty trace file")
+    header = json.loads(lines[0])
+    if header.get("type") != "trace":
+        raise ValueError(f"{path}: first line is not a trace header")
+    if header.get("version") != TRACE_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: trace schema version {header.get('version')!r} "
+            f"(expected {TRACE_SCHEMA_VERSION})"
+        )
+    spans = []
+    for number, line in enumerate(lines[1:], start=2):
+        entry = json.loads(line)
+        if entry.get("type") != "span":
+            raise ValueError(f"{path}:{number}: unexpected line type")
+        spans.append(entry)
+    return spans

@@ -1,0 +1,213 @@
+"""Hierarchical trace spans and the process-local observation state.
+
+The whole subsystem hangs off one module-level :class:`_ObsState`.  When
+observation is **disabled** (the default), every instrumentation point —
+``span(...)``, ``count(...)``, ``observe(...)`` — reduces to a single
+attribute check on that state object and returns immediately; ``span``
+hands back one shared no-op context manager, so instrumented hot paths
+allocate nothing.  Instrumentation therefore never changes a function's
+signature or its results; it only wraps existing work.
+
+When **enabled** (:func:`enable` / :func:`capture`, or the CLI's
+``--trace``/``--metrics`` flags), ``span(name, **attrs)`` opens a timed
+span: entry pushes it on the state's span stack (establishing the
+parent/child tree), exit measures the elapsed monotonic time
+(``time.perf_counter_ns``), feeds a ``span.<name>.us`` histogram in the
+session's :class:`~repro.obs.metrics.MetricsRegistry`, and emits one
+:class:`SpanRecord` to every configured sink.  Children are emitted before
+their parents (exit order); sinks that want the tree re-nest by
+``parent_id``.
+
+Span names follow ``layer.component[.event]`` (``engine.snapshot``,
+``geodesy.memo``, ``uls.scraper.detail``); attributes carry the query
+dimensions (licensee, endpoints, cache disposition).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Union
+
+from repro.obs.metrics import MetricsRegistry, Number
+
+
+@dataclass(frozen=True, slots=True)
+class SpanRecord:
+    """One completed span, as handed to sinks."""
+
+    span_id: int
+    parent_id: int | None
+    depth: int
+    name: str
+    #: Microseconds since the observation session started.
+    start_us: float
+    duration_us: float
+    #: Attribute (key, value) pairs in tagging order.
+    attrs: tuple[tuple[str, object], ...]
+
+
+class _ObsState:
+    """The process-local observation session (one at a time)."""
+
+    __slots__ = ("enabled", "registry", "sinks", "stack", "next_id", "t0_ns")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.registry: MetricsRegistry | None = None
+        self.sinks: tuple = ()
+        self.stack: list[_LiveSpan] = []
+        self.next_id = 1
+        self.t0_ns = 0
+
+
+_STATE = _ObsState()
+
+
+class _NoopSpan:
+    """The shared disabled-path span: enter/exit/tag all do nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def tag(self, **attrs: object) -> "_NoopSpan":
+        return self
+
+
+_NOOP = _NoopSpan()
+
+
+class _LiveSpan:
+    """An open span: times itself and reports to the session on exit."""
+
+    __slots__ = ("name", "attrs", "span_id", "parent_id", "depth", "start_ns")
+
+    def __init__(self, name: str, attrs: dict) -> None:
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_LiveSpan":
+        state = _STATE
+        self.span_id = state.next_id
+        state.next_id += 1
+        self.parent_id = state.stack[-1].span_id if state.stack else None
+        self.depth = len(state.stack)
+        state.stack.append(self)
+        self.start_ns = time.perf_counter_ns()
+        return self
+
+    def tag(self, **attrs: object) -> "_LiveSpan":
+        """Attach attributes (before exit) to the eventual record."""
+        self.attrs.update(attrs)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end_ns = time.perf_counter_ns()
+        state = _STATE
+        if state.stack and state.stack[-1] is self:
+            state.stack.pop()
+        if not state.enabled:  # disable() raced the span: drop it
+            return False
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        record = SpanRecord(
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            depth=self.depth,
+            name=self.name,
+            start_us=(self.start_ns - state.t0_ns) / 1000.0,
+            duration_us=(end_ns - self.start_ns) / 1000.0,
+            attrs=tuple(self.attrs.items()),
+        )
+        state.registry.histogram(f"span.{self.name}.us").observe(
+            record.duration_us
+        )
+        for sink in state.sinks:
+            sink.emit(record)
+        return False
+
+
+def span(name: str, **attrs: object) -> Union[_NoopSpan, _LiveSpan]:
+    """A context manager timing one named unit of work.
+
+    Disabled (the default): returns the shared no-op span — the cost at an
+    instrumentation point is this call plus one attribute check.
+    """
+    if not _STATE.enabled:
+        return _NOOP
+    return _LiveSpan(name, attrs)
+
+
+def count(name: str, amount: int = 1) -> None:
+    """Increment counter ``name`` when observation is enabled."""
+    if _STATE.enabled:
+        _STATE.registry.counter(name).inc(amount)
+
+
+def observe(name: str, value: Number) -> None:
+    """Observe ``value`` into histogram ``name`` when enabled."""
+    if _STATE.enabled:
+        _STATE.registry.histogram(name).observe(value)
+
+
+def set_gauge(name: str, value: Number) -> None:
+    """Set gauge ``name`` to ``value`` when enabled."""
+    if _STATE.enabled:
+        _STATE.registry.gauge(name).set(value)
+
+
+def is_enabled() -> bool:
+    """Whether an observation session is active."""
+    return _STATE.enabled
+
+
+def get_registry() -> MetricsRegistry | None:
+    """The active session's registry (None when disabled)."""
+    return _STATE.registry
+
+
+def enable(sinks: tuple = (), registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Start an observation session; returns its metrics registry.
+
+    One session at a time: enabling while enabled raises (use
+    :func:`capture` for nested, self-restoring sessions in tests).
+    """
+    if _STATE.enabled:
+        raise RuntimeError(
+            "observation already enabled; disable() first, or use capture()"
+        )
+    _STATE.registry = registry if registry is not None else MetricsRegistry()
+    _STATE.sinks = tuple(sinks)
+    _STATE.stack = []
+    _STATE.next_id = 1
+    _STATE.t0_ns = time.perf_counter_ns()
+    _STATE.enabled = True
+    return _STATE.registry
+
+
+def disable() -> MetricsRegistry | None:
+    """End the session; returns its registry (None if already disabled)."""
+    registry = _STATE.registry
+    _STATE.enabled = False
+    _STATE.registry = None
+    _STATE.sinks = ()
+    _STATE.stack = []
+    return registry
+
+
+def _swap_state(new: _ObsState | None = None) -> _ObsState:
+    """Swap the module state (capture()'s save/restore); returns the old."""
+    global _STATE
+    previous = _STATE
+    _STATE = new if new is not None else _ObsState()
+    return previous
+
+
+def _restore_state(state: _ObsState) -> None:
+    global _STATE
+    _STATE = state

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from html.parser import HTMLParser
 
+from repro import obs
 from repro.geodesy import GeoPoint
 from repro.geodesy.coordinates import parse_dms
 from repro.uls.portal import UlsPortal
@@ -151,9 +152,13 @@ class UlsScraper:
         self, latitude: float, longitude: float, radius_km: float
     ) -> list[dict[str, str]]:
         """Scrape the geographic results: one dict per row."""
-        html = self._portal.geographic_search_page(latitude, longitude, radius_km)
-        self.stats.search_pages += 1
-        table = _parse_table_page(html)
+        with obs.span("uls.scraper.search", kind="geographic"):
+            html = self._portal.geographic_search_page(
+                latitude, longitude, radius_km
+            )
+            self.stats.search_pages += 1
+            obs.count("uls.scraper.page.search")
+            table = _parse_table_page(html)
         header, rows = table[0], table[1:]
         expected = ["Call Sign", "License ID", "Licensee", "Radio Service", "Station Class"]
         if header != expected:
@@ -171,9 +176,11 @@ class UlsScraper:
 
     def licenses_of(self, licensee_name: str) -> list[str]:
         """License ids filed by a licensee (name-search page)."""
-        html = self._portal.name_search_page(licensee_name)
-        self.stats.search_pages += 1
-        table = _parse_table_page(html)
+        with obs.span("uls.scraper.search", kind="name", licensee=licensee_name):
+            html = self._portal.name_search_page(licensee_name)
+            self.stats.search_pages += 1
+            obs.count("uls.scraper.page.search")
+            table = _parse_table_page(html)
         return [row[1] for row in table[1:]]
 
     # ------------------------------------------------------------------
@@ -184,10 +191,14 @@ class UlsScraper:
         """Scrape (or serve from cache) one license-detail page."""
         if license_id in self._detail_cache:
             self.stats.cache_hits += 1
+            obs.count("uls.scraper.cache.hit")
             return self._detail_cache[license_id]
-        html = self._portal.license_detail_page(license_id)
-        self.stats.detail_pages += 1
-        lic = self._parse_detail(html)
+        obs.count("uls.scraper.cache.miss")
+        with obs.span("uls.scraper.detail", license_id=license_id):
+            html = self._portal.license_detail_page(license_id)
+            self.stats.detail_pages += 1
+            obs.count("uls.scraper.page.detail")
+            lic = self._parse_detail(html)
         if lic.license_id != license_id:
             raise ScrapeError(
                 f"requested {license_id!r} but page is for {lic.license_id!r}"

@@ -2,7 +2,13 @@
 
 The ``paper2020`` scenario build calibrates ~30 chains by bisection
 (~1 s); it is cached per process, so the session-scoped fixtures here are
-cheap for every test after the first.
+cheap for every test after the first.  Everything expensive downstream of
+the scenario is also session-scoped and routed through the scenario's
+*default* :class:`~repro.core.engine.CorridorEngine` — snapshots computed
+for one test file warm the cache for every other (the CLI's commands use
+the same process-cached scenario, so even ``main(...)`` calls share it).
+The §2.2 scraping funnel (~3 s: it really scrapes ~3 000 portal pages)
+runs once per session via ``funnel_result``.
 """
 
 from __future__ import annotations
@@ -11,6 +17,7 @@ import datetime as dt
 
 import pytest
 
+from repro.analysis.funnel import run_scraping_funnel
 from repro.core.corridor import chicago_nj_corridor
 from repro.core.reconstruction import NetworkReconstructor
 from repro.geodesy import GeoPoint
@@ -39,17 +46,30 @@ def snapshot_date(scenario):
 
 
 @pytest.fixture(scope="session")
-def nln_network(scenario, reconstructor, snapshot_date):
-    return reconstructor.reconstruct_licensee(
-        scenario.database, "New Line Networks", snapshot_date
+def engine(scenario):
+    """The scenario's shared default engine (snapshot/route caches)."""
+    return scenario.engine()
+
+
+@pytest.fixture(scope="session")
+def funnel_result(scenario, engine):
+    """One §2.2 funnel replay at the snapshot date, shared session-wide."""
+    return run_scraping_funnel(
+        scenario.database,
+        scenario.corridor,
+        scenario.snapshot_date,
+        engine=engine,
     )
 
 
 @pytest.fixture(scope="session")
-def wh_network(scenario, reconstructor, snapshot_date):
-    return reconstructor.reconstruct_licensee(
-        scenario.database, "Webline Holdings", snapshot_date
-    )
+def nln_network(engine, snapshot_date):
+    return engine.snapshot("New Line Networks", snapshot_date)
+
+
+@pytest.fixture(scope="session")
+def wh_network(engine, snapshot_date):
+    return engine.snapshot("Webline Holdings", snapshot_date)
 
 
 def make_license(

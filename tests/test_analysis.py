@@ -19,24 +19,22 @@ from repro.analysis.report import format_latency_ms, format_table
 
 
 class TestFunnelDriver:
-    def test_stage_sets_nest(self, scenario):
-        result = run_scraping_funnel(
-            scenario.database, scenario.corridor, scenario.snapshot_date
-        )
+    def test_stage_sets_nest(self, funnel_result):
+        result = funnel_result
         assert set(result.connected_licensees) <= set(result.shortlisted_licensees)
         assert set(result.shortlisted_licensees) <= set(result.candidate_licensees)
         assert result.pages_scraped > 0
 
-    def test_ntc_shortlisted_but_not_connected(self, scenario):
-        result = run_scraping_funnel(
-            scenario.database, scenario.corridor, scenario.snapshot_date
-        )
-        assert "National Tower Company" in result.shortlisted_licensees
-        assert "National Tower Company" not in result.connected_licensees
+    def test_ntc_shortlisted_but_not_connected(self, funnel_result):
+        assert "National Tower Company" in funnel_result.shortlisted_licensees
+        assert "National Tower Company" not in funnel_result.connected_licensees
 
-    def test_ntc_was_connected_in_2015(self, scenario):
+    def test_ntc_was_connected_in_2015(self, scenario, engine):
         result = run_scraping_funnel(
-            scenario.database, scenario.corridor, dt.date(2015, 6, 1)
+            scenario.database,
+            scenario.corridor,
+            dt.date(2015, 6, 1),
+            engine=engine,
         )
         assert "National Tower Company" in result.connected_licensees
 

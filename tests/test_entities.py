@@ -11,7 +11,6 @@ from repro.analysis.entities import (
     resolve_entities,
     shared_domain_groups,
 )
-from repro.analysis.funnel import run_scraping_funnel
 from repro.synth.scenario import (
     SPLIT_NETWORK_EAST,
     SPLIT_NETWORK_EMAIL,
@@ -102,14 +101,11 @@ class TestResolveEntities:
 
 
 class TestComplementaryPairs:
-    def test_geometric_search_finds_the_pair(self, scenario):
-        result = run_scraping_funnel(
-            scenario.database, scenario.corridor, scenario.snapshot_date
-        )
+    def test_geometric_search_finds_the_pair(self, scenario, funnel_result):
         not_connected = [
             name
-            for name in result.shortlisted_licensees
-            if name not in result.connected_licensees
+            for name in funnel_result.shortlisted_licensees
+            if name not in funnel_result.connected_licensees
         ]
         candidates = not_connected + [SPLIT_NETWORK_EAST]
         pairs = complementary_pairs(

@@ -330,3 +330,71 @@ class TestUnitSuffix:
             total_ms = latency_ms + overhead_ms
         """
         assert findings_for(tmp_path, source, rules=("unit-suffix",)) == []
+
+
+class TestObsDiscipline:
+    def test_monotonic_timing_flagged(self, tmp_path):
+        source = """
+            import time
+            start = time.monotonic()
+            elapsed = time.monotonic() - start
+        """
+        findings = findings_for(tmp_path, source, rules=("obs-discipline",))
+        assert rule_names(findings) == ["obs-discipline", "obs-discipline"]
+        assert "obs.span" in findings[0].message
+
+    def test_perf_counter_ns_flagged(self, tmp_path):
+        source = """
+            import time
+            t0 = time.perf_counter_ns()
+        """
+        assert rule_names(
+            findings_for(tmp_path, source, rules=("obs-discipline",))
+        ) == ["obs-discipline"]
+
+    def test_obs_package_is_exempt(self, tmp_path):
+        source = """
+            import time
+            t0 = time.perf_counter_ns()
+        """
+        assert findings_for(
+            tmp_path, source, name="src/repro/obs/spans.py",
+            rules=("obs-discipline",),
+        ) == []
+
+    def test_benchmarks_are_exempt(self, tmp_path):
+        source = """
+            import time
+            t0 = time.monotonic()
+        """
+        assert findings_for(
+            tmp_path, source, name="benchmarks/test_bench_obs.py",
+            rules=("obs-discipline",),
+        ) == []
+
+    def test_allowed_paths_overridable(self, tmp_path):
+        source = """
+            import time
+            t0 = time.perf_counter()
+        """
+        assert findings_for(
+            tmp_path, source, name="tools/profiler.py",
+            rules=("obs-discipline",),
+            rule_options={"obs-discipline": {"allowed": ["tools/"]}},
+        ) == []
+
+    def test_span_timing_ok(self, tmp_path):
+        source = """
+            from repro import obs
+
+            with obs.span("engine.snapshot", licensee=name):
+                network = build()
+        """
+        assert findings_for(tmp_path, source, rules=("obs-discipline",)) == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        source = """
+            import time
+            t0 = time.monotonic()  # lint: disable=obs-discipline
+        """
+        assert findings_for(tmp_path, source, rules=("obs-discipline",)) == []

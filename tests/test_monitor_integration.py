@@ -25,13 +25,14 @@ from tests.conftest import make_license
 
 class TestCorridorDiff:
     @pytest.fixture(scope="class")
-    def diff_2015_2016(self, scenario):
+    def diff_2015_2016(self, scenario, engine):
         return diff_corridor(
             scenario.database,
             scenario.corridor,
             dt.date(2015, 1, 1),
             dt.date(2016, 1, 1),
             licensees=list(scenario.featured_names),
+            engine=engine,
         )
 
     def test_nln_newly_connected_in_2015(self, diff_2015_2016):
@@ -41,35 +42,38 @@ class TestCorridorDiff:
         assert diff_2015_2016.grants > 0
         assert diff_2015_2016.cancellations >= 0
 
-    def test_improvers_move_down(self, scenario):
+    def test_improvers_move_down(self, scenario, engine):
         diff = diff_corridor(
             scenario.database,
             scenario.corridor,
             dt.date(2017, 1, 1),
             dt.date(2018, 1, 1),
             licensees=["Webline Holdings", "New Line Networks"],
+            engine=engine,
         )
         movers = {c.licensee: c for c in diff.movers}
         assert movers["New Line Networks"].kind == "improved"
         assert movers["New Line Networks"].delta_us < -1.0
 
-    def test_ntc_disconnects_during_wind_down(self, scenario):
+    def test_ntc_disconnects_during_wind_down(self, scenario, engine):
         diff = diff_corridor(
             scenario.database,
             scenario.corridor,
             dt.date(2016, 1, 1),
             dt.date(2018, 1, 1),
             licensees=["National Tower Company"],
+            engine=engine,
         )
         assert "National Tower Company" in diff.newly_disconnected
 
-    def test_pb_appears_as_new_licensee(self, scenario):
+    def test_pb_appears_as_new_licensee(self, scenario, engine):
         diff = diff_corridor(
             scenario.database,
             scenario.corridor,
             dt.date(2019, 1, 1),
             scenario.snapshot_date,
             licensees=["Pierce Broadband"],
+            engine=engine,
         )
         assert "Pierce Broadband" in diff.new_licensees
         assert "Pierce Broadband" in diff.newly_connected

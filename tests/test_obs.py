@@ -1,0 +1,323 @@
+"""Unit tests for the repro.obs tracing + metrics layer."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.obs.metrics import _validate_name
+from repro.obs.spans import _NOOP, _STATE
+
+
+class TestDisabledPath:
+    def test_disabled_by_default(self):
+        assert not obs.is_enabled()
+        assert obs.get_registry() is None
+
+    def test_span_returns_shared_noop(self):
+        first = obs.span("engine.snapshot", licensee="NLN")
+        second = obs.span("core.stitch")
+        assert first is second is _NOOP
+
+    def test_noop_span_supports_protocol(self):
+        with obs.span("a.b", x=1) as sp:
+            assert sp.tag(y=2) is sp
+
+    def test_counters_are_noops_when_disabled(self):
+        obs.count("engine.snapshot.hit")
+        obs.observe("span.x.us", 1.0)
+        obs.set_gauge("cache.size", 3)
+        assert obs.get_registry() is None
+
+    def test_disabled_span_records_nothing(self):
+        sink = obs.InMemorySink()
+        with obs.span("a.b"):
+            pass
+        assert sink.records == []
+
+
+class TestSpanNesting:
+    def test_parent_child_depth_and_ids(self):
+        with obs.capture() as cap:
+            with obs.span("outer"):
+                with obs.span("inner.first"):
+                    pass
+                with obs.span("inner.second"):
+                    pass
+        # Completion order: children before parents.
+        assert cap.sink.names() == ["inner.first", "inner.second", "outer"]
+        # Start order: the flattened tree.
+        assert cap.sink.tree() == [
+            (0, "outer"), (1, "inner.first"), (1, "inner.second"),
+        ]
+        by_name = {record.name: record for record in cap.spans}
+        outer = by_name["outer"]
+        assert outer.parent_id is None and outer.depth == 0
+        for name in ("inner.first", "inner.second"):
+            assert by_name[name].parent_id == outer.span_id
+            assert by_name[name].depth == 1
+
+    def test_attrs_and_tagging(self):
+        with obs.capture() as cap:
+            with obs.span("engine.route", licensee="NLN") as sp:
+                sp.tag(cache="hit")
+        (record,) = cap.spans
+        assert record.attrs == (("licensee", "NLN"), ("cache", "hit"))
+
+    def test_exception_tags_error_and_propagates(self):
+        with obs.capture() as cap:
+            with pytest.raises(KeyError):
+                with obs.span("engine.snapshot"):
+                    raise KeyError("boom")
+        (record,) = cap.spans
+        assert ("error", "KeyError") in record.attrs
+
+    def test_span_durations_feed_histograms(self):
+        with obs.capture() as cap:
+            with obs.span("a.b"):
+                pass
+        hist = cap.registry.snapshot()["histograms"]["span.a.b.us"]
+        assert hist["count"] == 1
+        assert hist["min"] >= 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=3), max_size=6))
+    def test_nesting_and_timing_monotonicity(self, widths):
+        """However spans nest, child intervals sit inside their parent's
+        interval and every duration is non-negative."""
+        with obs.capture() as cap:
+            def recurse(level):
+                if level >= len(widths):
+                    return
+                for i in range(widths[level]):
+                    with obs.span(f"level{level}.child{i}"):
+                        recurse(level + 1)
+
+            with obs.span("root"):
+                recurse(0)
+
+        by_id = {record.span_id: record for record in cap.spans}
+        for record in cap.spans:
+            assert record.duration_us >= 0.0
+            if record.parent_id is not None:
+                parent = by_id[record.parent_id]
+                assert record.depth == parent.depth + 1
+                assert record.start_us >= parent.start_us
+                assert (
+                    record.start_us + record.duration_us
+                    <= parent.start_us + parent.duration_us + 1e-6
+                )
+
+    def test_span_ids_unique_and_increasing_in_start_order(self):
+        with obs.capture() as cap:
+            for _ in range(3):
+                with obs.span("a"):
+                    with obs.span("b"):
+                        pass
+        ids = [r.span_id for r in sorted(cap.spans, key=lambda r: r.start_us)]
+        assert ids == sorted(ids) and len(set(ids)) == len(ids)
+
+
+class TestSessionSemantics:
+    def test_enable_twice_raises(self):
+        with obs.capture():
+            with pytest.raises(RuntimeError):
+                obs.enable()
+
+    def test_capture_restores_previous_state(self):
+        assert not obs.is_enabled()
+        with obs.capture() as outer:
+            obs.count("outer.n")
+            with obs.capture() as inner:
+                obs.count("inner.n")
+            # Inner session fully isolated, outer restored.
+            assert inner.counters() == {"inner.n": 1}
+            assert obs.get_registry() is outer.registry
+            obs.count("outer.n")
+        assert outer.counters() == {"outer.n": 2}
+        assert not obs.is_enabled()
+
+    def test_capture_restores_on_exception(self):
+        with pytest.raises(ValueError):
+            with obs.capture():
+                raise ValueError("boom")
+        assert not obs.is_enabled()
+        assert _STATE.stack == []
+
+    def test_disable_returns_registry(self):
+        registry = obs.enable()
+        obs.count("x.y")
+        assert obs.disable() is registry
+        assert registry.counter("x.y").value == 1
+        assert obs.disable() is None
+
+    def test_count_and_gauge_reach_registry(self):
+        with obs.capture() as cap:
+            obs.count("uls.scraper.page.detail", 3)
+            obs.set_gauge("engine.cache.size", 7)
+            obs.observe("geodesy.memo.lookup.us", 2.5)
+        snap = cap.registry.snapshot()
+        assert snap["counters"]["uls.scraper.page.detail"] == 3
+        assert snap["gauges"]["engine.cache.size"] == 7
+        assert snap["histograms"]["geodesy.memo.lookup.us"]["count"] == 1
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_identity(self):
+        registry = obs.MetricsRegistry()
+        assert registry.counter("a.b") is registry.counter("a.b")
+        assert registry.histogram("c.d") is registry.histogram("c.d")
+        assert len(registry) == 2
+
+    def test_cross_type_name_conflict_raises(self):
+        registry = obs.MetricsRegistry()
+        registry.counter("a.b")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.histogram("a.b")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("a.b")
+
+    def test_name_validation(self):
+        registry = obs.MetricsRegistry()
+        for bad in ("", ".", "a..b", " a.b", "a.b."):
+            with pytest.raises(ValueError):
+                registry.counter(bad)
+        assert _validate_name("layer.component.event")
+
+    def test_counter_rejects_negative(self):
+        counter = obs.MetricsRegistry().counter("a.b")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_histogram_summary(self):
+        hist = obs.MetricsRegistry().histogram("a.b")
+        assert hist.summary() == {
+            "count": 0, "sum": 0.0, "min": None, "max": None, "mean": None,
+        }
+        for value in (3.0, 1.0, 2.0):
+            hist.observe(value)
+        assert hist.summary() == {
+            "count": 3, "sum": 6.0, "min": 1.0, "max": 3.0, "mean": 2.0,
+        }
+
+    def test_reset_keeps_instruments_alive(self):
+        registry = obs.MetricsRegistry()
+        counter = registry.counter("a.b")
+        counter.inc(5)
+        registry.reset()
+        assert counter.value == 0
+        assert registry.counter("a.b") is counter
+        counter.inc()
+        assert registry.snapshot()["counters"]["a.b"] == 1
+
+    def test_snapshot_is_sorted_and_json_serialisable(self):
+        registry = obs.MetricsRegistry()
+        registry.counter("b.z").inc()
+        registry.counter("a.y").inc()
+        registry.histogram("c.x").observe(1)
+        snap = registry.snapshot()
+        assert list(snap["counters"]) == ["a.y", "b.z"]
+        json.dumps(snap)  # must not raise
+
+    def test_render_metrics(self):
+        registry = obs.MetricsRegistry()
+        registry.counter("engine.snapshot.hit").inc(4)
+        registry.gauge("cache.size").set(2)
+        registry.histogram("span.a.us").observe(1.5)
+        text = obs.render_metrics(registry)
+        assert text.startswith("metrics summary:")
+        assert "engine.snapshot.hit" in text and "4" in text
+        assert "count=1" in text
+        empty = obs.render_metrics(obs.MetricsRegistry())
+        assert "(no metrics recorded)" in empty
+
+
+class TestJsonLinesSink:
+    def test_schema_header_and_key_order(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with obs.capture(extra_sinks=(obs.JsonLinesSink(path),)):
+            with obs.span("engine.snapshot", licensee="NLN"):
+                pass
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0]) == {
+            "type": "trace", "version": obs.TRACE_SCHEMA_VERSION,
+        }
+        entry = json.loads(lines[1])
+        # Key order IS the schema: a reorder is a version bump.
+        assert tuple(entry) == obs.SPAN_LINE_KEYS
+        assert entry["name"] == "engine.snapshot"
+        assert entry["attrs"] == {"licensee": "NLN"}
+
+    def test_schema_version_pinned(self):
+        # Bumping the version or the line keys requires updating every
+        # consumer (read_trace, benchmarks); this test makes the bump loud.
+        assert obs.TRACE_SCHEMA_VERSION == 1
+        assert obs.SPAN_LINE_KEYS == (
+            "type", "id", "parent", "depth", "name",
+            "start_us", "duration_us", "attrs",
+        )
+
+    def test_non_json_attrs_coerced_to_str(self):
+        stream = io.StringIO()
+        sink = obs.JsonLinesSink(stream)
+        record = obs.SpanRecord(
+            span_id=1, parent_id=None, depth=0, name="a.b",
+            start_us=0.0, duration_us=1.0,
+            attrs=(("path", object()),),
+        )
+        sink.emit(record)
+        sink.close()
+        entry = json.loads(stream.getvalue().splitlines()[1])
+        assert isinstance(entry["attrs"]["path"], str)
+
+    def test_read_trace_round_trip(self, tmp_path):
+        path = tmp_path / "out" / "trace.jsonl"  # parent dir is created
+        with obs.capture(extra_sinks=(obs.JsonLinesSink(path),)):
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    pass
+        spans = obs.read_trace(path)
+        assert [s["name"] for s in spans] == ["inner", "outer"]
+        inner, outer = spans
+        assert inner["parent"] == outer["id"]
+
+    def test_read_trace_rejects_bad_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type":"span"}\n')
+        with pytest.raises(ValueError, match="not a trace header"):
+            obs.read_trace(path)
+        path.write_text('{"type":"trace","version":99}\n')
+        with pytest.raises(ValueError, match="version"):
+            obs.read_trace(path)
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            obs.read_trace(path)
+
+
+class TestTextSummarySink:
+    def test_aggregates_per_name(self):
+        sink = obs.TextSummarySink()
+        with obs.capture(extra_sinks=(sink,)):
+            for _ in range(3):
+                with obs.span("a.b"):
+                    pass
+        text = sink.render()
+        assert "span summary" in text
+        assert "n=3" in text and "a.b" in text
+
+    def test_close_writes_to_stream(self):
+        stream = io.StringIO()
+        sink = obs.TextSummarySink(stream)
+        with obs.capture(extra_sinks=(sink,)):
+            with obs.span("a.b"):
+                pass
+        sink.close()
+        assert "a.b" in stream.getvalue()
+
+    def test_empty_summary(self):
+        assert "(no spans recorded)" in obs.TextSummarySink().render()

@@ -1,0 +1,153 @@
+"""End-to-end obs tests: the instrumented pipeline emits the expected
+span tree and cache counters, through the library API and the CLI."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro import obs
+from repro.analysis.funnel import run_scraping_funnel
+from repro.cli import main
+from repro.core.engine import CorridorEngine
+
+
+class TestFunnelTrace:
+    def test_funnel_span_tree_and_counters(self, scenario):
+        # A fresh engine: every snapshot misses, so the whole
+        # reconstruction span tree appears regardless of test ordering.
+        engine = CorridorEngine(scenario.database, scenario.corridor)
+        with obs.capture() as cap:
+            result = run_scraping_funnel(
+                scenario.database,
+                scenario.corridor,
+                scenario.snapshot_date,
+                engine=engine,
+            )
+        assert result.counts == (57, 29, 9)
+
+        names = set(cap.sink.names())
+        # One span per instrumented layer, funnel root included.
+        for expected in (
+            "analysis.funnel",
+            "analysis.funnel.search",
+            "analysis.funnel.shortlist",
+            "analysis.funnel.connect",
+            "engine.snapshot",
+            "engine.snapshot.build",
+            "geodesy.memo",
+            "core.stitch",
+            "core.fiber",
+            "uls.scraper.search",
+            "uls.scraper.detail",
+        ):
+            assert expected in names, expected
+
+        # The tree nests: funnel root at depth 0, stages at depth 1,
+        # engine spans strictly deeper.
+        by_name = {}
+        for record in cap.spans:
+            by_name.setdefault(record.name, []).append(record)
+        (root,) = by_name["analysis.funnel"]
+        assert root.depth == 0 and root.parent_id is None
+        for stage in ("search", "shortlist", "connect"):
+            (span,) = by_name[f"analysis.funnel.{stage}"]
+            assert span.parent_id == root.span_id
+        assert all(r.depth >= 2 for r in by_name["engine.snapshot"])
+        assert all(r.depth > 2 for r in by_name["core.stitch"])
+
+        counters = cap.counters()
+        # 29 shortlisted licensees are reconstructed from scraped records.
+        hits = counters.get("engine.snapshot.hit", 0)
+        misses = counters.get("engine.snapshot.miss", 0)
+        assert hits + misses == 29
+        # Every reconstruction leans on the geodesic memo.
+        assert counters["geodesy.memo.hit"] + counters["geodesy.memo.miss"] > 0
+        assert counters["uls.scraper.page.detail"] > 0
+
+    def test_rerun_hits_snapshot_cache_and_results_unchanged(self, scenario):
+        engine = scenario.engine()
+        plain = run_scraping_funnel(
+            scenario.database,
+            scenario.corridor,
+            scenario.snapshot_date,
+            engine=engine,
+        )
+        with obs.capture() as cap:
+            observed = run_scraping_funnel(
+                scenario.database,
+                scenario.corridor,
+                scenario.snapshot_date,
+                engine=engine,
+            )
+        # Observation never changes results.
+        assert observed == plain
+        counters = cap.counters()
+        # Second run over a warm engine: every snapshot is a cache hit,
+        # so no reconstruction (and no memo traffic) happens at all.
+        assert counters["engine.snapshot.hit"] == 29
+        assert counters.get("engine.snapshot.miss", 0) == 0
+        assert "engine.snapshot.build" not in set(cap.sink.names())
+
+
+class TestCliTrace:
+    def test_funnel_trace_and_metrics_flags(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        assert main(["funnel", "--trace", str(trace_path), "--metrics"]) == 0
+        captured = capsys.readouterr()
+        assert "connected CME-NY4: 9" in captured.out
+
+        spans = obs.read_trace(trace_path)  # validates header + line types
+        names = {span["name"] for span in spans}
+        assert "engine.snapshot" in names
+        assert "analysis.funnel" in names
+        # Reconstruction spans appear iff any snapshot actually missed —
+        # earlier tests may have warmed the process-shared engine.
+        if "engine.snapshot.build" in names:
+            assert "geodesy.memo" in names
+
+        # Metrics summary lands on stderr with the cache-hit counters.
+        assert "metrics summary:" in captured.err
+        assert "engine.snapshot" in captured.err
+        assert f"wrote span trace to {trace_path}" in captured.err
+
+    def test_cold_process_funnel_trace(self, tmp_path):
+        """The acceptance run: a fresh interpreter, so every cache is cold
+        and the full reconstruction span tree lands in the trace."""
+        trace_path = tmp_path / "trace.jsonl"
+        result = subprocess.run(
+            [
+                sys.executable, "-m", "repro",
+                "funnel", "--trace", str(trace_path), "--metrics",
+            ],
+            capture_output=True,
+            text=True,
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd=Path(__file__).resolve().parents[1],
+        )
+        assert result.returncode == 0, result.stderr
+        names = {span["name"] for span in obs.read_trace(trace_path)}
+        assert "engine.snapshot" in names
+        assert "geodesy.memo" in names
+        assert "core.stitch" in names
+        assert "metrics summary:" in result.stderr
+        assert "engine.snapshot.miss" in result.stderr
+        assert "geodesy.memo.hit" in result.stderr
+
+    def test_metrics_flag_alone(self, capsys):
+        assert main(["table1", "--metrics"]) == 0
+        captured = capsys.readouterr()
+        assert "New Line Networks" in captured.out
+        assert "metrics summary:" in captured.err
+
+    def test_obs_disabled_after_cli_run(self, tmp_path, capsys):
+        main(["table3", "--trace", str(tmp_path / "t.jsonl")])
+        assert not obs.is_enabled()
+
+    def test_no_flags_means_no_session(self, capsys):
+        assert main(["table3"]) == 0
+        captured = capsys.readouterr()
+        assert "metrics summary:" not in captured.err
+        assert not obs.is_enabled()

@@ -13,7 +13,6 @@ import datetime as dt
 
 import pytest
 
-from repro.analysis.funnel import run_scraping_funnel
 from repro.analysis.tables import (
     table1_connected_networks,
     table2_top_networks,
@@ -68,17 +67,11 @@ LATENCY_TOLERANCE_MS = 5e-5  # 0.05 µs ≈ 15 m of path
 
 
 class TestFunnel:
-    def test_57_29_9(self, scenario):
-        result = run_scraping_funnel(
-            scenario.database, scenario.corridor, scenario.snapshot_date
-        )
-        assert result.counts == (57, 29, 9)
+    def test_57_29_9(self, funnel_result):
+        assert funnel_result.counts == (57, 29, 9)
 
-    def test_connected_set_matches_table1(self, scenario):
-        result = run_scraping_funnel(
-            scenario.database, scenario.corridor, scenario.snapshot_date
-        )
-        assert set(result.connected_licensees) == set(PAPER_TABLE1)
+    def test_connected_set_matches_table1(self, funnel_result):
+        assert set(funnel_result.connected_licensees) == set(PAPER_TABLE1)
 
 
 class TestTable1:
