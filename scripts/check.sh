@@ -29,3 +29,14 @@ python -m pytest -q --ff
 
 # Engine equivalence in a fresh interpreter.
 python -m pytest -x -q tests/test_engine.py
+
+# Parallel determinism gate: analysis output must be byte-identical no
+# matter the fan-out width (repro.parallel's ordered reduction + cache
+# merge-back contract).  "timeline" covers the Fig 1/2 grid.
+for cmd in funnel timeline table1; do
+    if ! diff <(python -m repro "$cmd" --jobs 1) \
+              <(python -m repro "$cmd" --jobs 4); then
+        echo "check.sh: '$cmd' output differs between --jobs 1 and --jobs 4" >&2
+        exit 1
+    fi
+done

@@ -19,9 +19,20 @@ from repro.metrics.frequencies import (
     shortest_path_frequencies_ghz,
 )
 from repro.metrics.link_lengths import near_optimal_link_lengths_km
+from repro.parallel.grid import GridSession, grid_session
 from repro.synth.scenario import Scenario
 from repro.viz.geojson import network_to_geojson
 from repro.viz.svgmap import render_network_svg
+
+
+def _fig1_task(ctx, item):
+    name, dates, source, target = item
+    return ctx.engine.timeline(name, dates, source=source, target=target)
+
+
+def _fig2_task(ctx, item):
+    name, dates = item
+    return license_count_timeline(ctx.database, name, dates)
 
 
 def fig1_latency_evolution(
@@ -30,35 +41,54 @@ def fig1_latency_evolution(
     dates: list[dt.date] | None = None,
     source: str = "CME",
     target: str = "NY4",
+    jobs: int = 1,
+    session: GridSession | None = None,
 ) -> dict[str, list[TimelinePoint]]:
-    """Fig 1: CME–NY4 latency trajectories of the featured networks."""
+    """Fig 1: CME–NY4 latency trajectories of the featured networks.
+
+    The licensee × date grid fans out one licensee per task when
+    ``jobs > 1`` (or a ``session`` is passed); results and cache learning
+    land in submission order, so output is jobs-invariant.
+    """
     licensees = licensees or scenario.featured_names
-    dates = dates or yearly_snapshot_dates()
-    engine = scenario.engine()
+    dates = list(dates or yearly_snapshot_dates())
     with obs.span(
         "analysis.fig1", licensees=len(licensees), points=len(dates)
     ):
-        return {
-            name: engine.timeline(name, dates, source=source, target=target)
-            for name in licensees
-        }
+        if jobs == 1 and session is None:
+            engine = scenario.engine()
+            return {
+                name: engine.timeline(name, dates, source=source, target=target)
+                for name in licensees
+            }
+        items = [(name, dates, source, target) for name in licensees]
+        with grid_session(scenario.engine(), jobs, session) as live:
+            series = live.map(_fig1_task, items, label="fig1")
+        return dict(zip(licensees, series))
 
 
 def fig2_active_licenses(
     scenario: Scenario,
     licensees: tuple[str, ...] | None = None,
     dates: list[dt.date] | None = None,
+    jobs: int = 1,
+    session: GridSession | None = None,
 ) -> dict[str, LicenseCountSeries]:
     """Fig 2: active-license counts for the same networks."""
     licensees = licensees or scenario.featured_names
-    dates = dates or yearly_snapshot_dates()
+    dates = list(dates or yearly_snapshot_dates())
     with obs.span(
         "analysis.fig2", licensees=len(licensees), points=len(dates)
     ):
-        return {
-            name: license_count_timeline(scenario.database, name, dates)
-            for name in licensees
-        }
+        if jobs == 1 and session is None:
+            return {
+                name: license_count_timeline(scenario.database, name, dates)
+                for name in licensees
+            }
+        items = [(name, dates) for name in licensees]
+        with grid_session(scenario.engine(), jobs, session) as live:
+            series = live.map(_fig2_task, items, label="fig2")
+        return dict(zip(licensees, series))
 
 
 @dataclass(frozen=True)

@@ -20,10 +20,21 @@ from repro.constants import (
 )
 from repro.core.corridor import CorridorSpec
 from repro.core.engine import CorridorEngine
+from repro.parallel.grid import grid_session
 from repro.uls.database import UlsDatabase
 from repro.uls.portal import UlsPortal
 from repro.uls.records import licenses_by_licensee
 from repro.uls.scraper import UlsScraper
+
+
+def _connect_task(ctx, item):
+    name, on_date, source, target = item
+    licenses = ctx.scraper.scrape_licensee(name)
+    grouped = licenses_by_licensee(licenses)
+    network = ctx.engine.snapshot_from_licenses(
+        grouped[name], on_date, licensee=name
+    )
+    return network.is_connected(source, target)
 
 
 @dataclass(frozen=True)
@@ -54,6 +65,7 @@ def run_scraping_funnel(
     source: str = "CME",
     target: str = "NY4",
     engine: CorridorEngine | None = None,
+    jobs: int = 1,
 ) -> FunnelResult:
     """Replay §2.2 through the portal + scraper.
 
@@ -62,6 +74,13 @@ def run_scraping_funnel(
     *scraped* license records); pass ``engine`` to share caches with
     other drivers — license ids fingerprint identically whether records
     come from the scraper or straight from the database.
+
+    With ``jobs > 1``, stage 2 batches its name searches through
+    :meth:`~repro.uls.scraper.UlsScraper.count_filings` and stage 3 fans
+    licensees out through a grid session; worker page counts, parsed
+    licenses, and engine caches merge back, so every funnel field —
+    including ``pages_scraped`` — is jobs-invariant (each licensee's
+    detail pages are its own, so no worker refetches another's).
     """
     if engine is None:
         engine = CorridorEngine(database, corridor)
@@ -88,28 +107,50 @@ def run_scraping_funnel(
         # Stage 2: scrape every candidate's license list; shortlist
         # licensees with enough filings to span the corridor.
         with obs.span("analysis.funnel.shortlist", candidates=len(candidates)):
-            shortlisted = [
-                name
-                for name in candidates
-                if len(scraper.licenses_of(name)) >= min_filings
-            ]
+            if jobs == 1:
+                shortlisted = [
+                    name
+                    for name in candidates
+                    if len(scraper.licenses_of(name)) >= min_filings
+                ]
+            else:
+                counts = scraper.count_filings(candidates, jobs=jobs)
+                shortlisted = [
+                    name
+                    for name, count in zip(candidates, counts)
+                    if count >= min_filings
+                ]
 
         # Stage 3: scrape the shortlisted licensees' license details and
         # reconstruct their networks at the snapshot date.
         connected = []
         with obs.span("analysis.funnel.connect", shortlisted=len(shortlisted)):
-            for name in shortlisted:
-                licenses = scraper.scrape_licensee(name)
-                grouped = licenses_by_licensee(licenses)
-                network = engine.snapshot_from_licenses(
-                    grouped[name], on_date, licensee=name
-                )
-                if network.is_connected(source, target):
-                    connected.append(name)
+            if jobs == 1:
+                for name in shortlisted:
+                    licenses = scraper.scrape_licensee(name)
+                    grouped = licenses_by_licensee(licenses)
+                    network = engine.snapshot_from_licenses(
+                        grouped[name], on_date, licensee=name
+                    )
+                    if network.is_connected(source, target):
+                        connected.append(name)
+            else:
+                items = [
+                    (name, on_date, source, target) for name in shortlisted
+                ]
+                with grid_session(engine, jobs, scraper=scraper) as live:
+                    flags = live.map(_connect_task, items, label="funnel")
+                connected = [
+                    name for name, flag in zip(shortlisted, flags) if flag
+                ]
 
+    # All portal traffic flows through the scraper, so its absorbed page
+    # counts equal portal.page_requests at jobs=1 and additionally include
+    # worker pages when fanned out.
+    pages_scraped = scraper.stats.search_pages + scraper.stats.detail_pages
     return FunnelResult(
         candidate_licensees=tuple(candidates),
         shortlisted_licensees=tuple(shortlisted),
         connected_licensees=tuple(connected),
-        pages_scraped=portal.page_requests,
+        pages_scraped=pages_scraped,
     )

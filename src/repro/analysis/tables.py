@@ -13,6 +13,7 @@ from repro.metrics.rankings import (
     rank_connected_networks,
     top_networks_per_path,
 )
+from repro.parallel.grid import GridSession, grid_session
 from repro.synth.scenario import Scenario
 
 
@@ -21,6 +22,8 @@ def table1_connected_networks(
     on_date: dt.date | None = None,
     source: str = "CME",
     target: str = "NY4",
+    jobs: int = 1,
+    session: GridSession | None = None,
 ) -> list[NetworkRanking]:
     """Table 1: connected networks by increasing CME–NY4 latency."""
     date = on_date or scenario.snapshot_date
@@ -32,6 +35,8 @@ def table1_connected_networks(
             source=source,
             target=target,
             engine=scenario.engine(),
+            jobs=jobs,
+            session=session,
         )
 
 
@@ -39,6 +44,8 @@ def table2_top_networks(
     scenario: Scenario,
     on_date: dt.date | None = None,
     top_n: int = 3,
+    jobs: int = 1,
+    session: GridSession | None = None,
 ) -> list[PathTopRanking]:
     """Table 2: the fastest ``top_n`` networks per corridor path."""
     date = on_date or scenario.snapshot_date
@@ -49,6 +56,8 @@ def table2_top_networks(
             date,
             top_n=top_n,
             engine=scenario.engine(),
+            jobs=jobs,
+            session=session,
         )
 
 
@@ -60,25 +69,48 @@ class ApaRow:
     values: dict[str, int]
 
 
+def _table3_task(ctx, item):
+    name, date, paths = item
+    network = ctx.engine.snapshot(name, date)
+    return {
+        path: apa_percent(network, path[0], path[1]) for path in paths
+    }
+
+
 def table3_apa(
     scenario: Scenario,
     licensees: tuple[str, ...] = ("New Line Networks", "Webline Holdings"),
     on_date: dt.date | None = None,
+    jobs: int = 1,
+    session: GridSession | None = None,
 ) -> list[ApaRow]:
-    """Table 3: per-path APA for selected networks (paper: NLN vs WH)."""
+    """Table 3: per-path APA for selected networks (paper: NLN vs WH).
+
+    Fans out one licensee per task (its full APA column) when parallel;
+    rows are reassembled path-major either way.
+    """
     date = on_date or scenario.snapshot_date
     engine = scenario.engine()
+    paths = tuple(scenario.corridor.paths)
     with obs.span("analysis.table3", date=date.isoformat()):
-        networks = {name: engine.snapshot(name, date) for name in licensees}
-        rows = []
-        for source, target in scenario.corridor.paths:
-            rows.append(
-                ApaRow(
-                    path=(source, target),
-                    values={
-                        name: apa_percent(network, source, target)
-                        for name, network in networks.items()
-                    },
-                )
+        if jobs == 1 and session is None:
+            networks = {name: engine.snapshot(name, date) for name in licensees}
+            columns = {
+                name: {
+                    path: apa_percent(network, path[0], path[1])
+                    for path in paths
+                }
+                for name, network in networks.items()
+            }
+        else:
+            items = [(name, date, paths) for name in licensees]
+            with grid_session(engine, jobs, session) as live:
+                results = live.map(_table3_task, items, label="table3")
+            columns = dict(zip(licensees, results))
+        return [
+            ApaRow(
+                path=path,
+                values={name: columns[name][path] for name in licensees},
             )
-        return rows
+            for path in paths
+        ]

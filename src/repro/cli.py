@@ -55,6 +55,7 @@ def _cmd_funnel(args: argparse.Namespace) -> int:
         scenario.corridor,
         args.date or scenario.snapshot_date,
         engine=scenario.engine(),
+        jobs=args.jobs,
     )
     candidates, shortlisted, connected = result.counts
     print(f"candidate licensees: {candidates}")
@@ -68,7 +69,7 @@ def _cmd_funnel(args: argparse.Namespace) -> int:
 
 def _cmd_table1(args: argparse.Namespace) -> int:
     scenario = paper2020_scenario()
-    rankings = table1_connected_networks(scenario, args.date)
+    rankings = table1_connected_networks(scenario, args.date, jobs=args.jobs)
     rows = [
         (r.licensee, format_latency_ms(r.latency_ms), r.apa_percent, r.tower_count)
         for r in rankings
@@ -86,7 +87,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 def _cmd_table2(args: argparse.Namespace) -> int:
     scenario = paper2020_scenario()
     rows = []
-    for path_ranking in table2_top_networks(scenario, args.date):
+    for path_ranking in table2_top_networks(scenario, args.date, jobs=args.jobs):
         for rank, entry in enumerate(path_ranking.top, start=1):
             rows.append(
                 (
@@ -107,7 +108,7 @@ def _cmd_table2(args: argparse.Namespace) -> int:
 
 def _cmd_table3(args: argparse.Namespace) -> int:
     scenario = paper2020_scenario()
-    apa_rows = table3_apa(scenario, on_date=args.date)
+    apa_rows = table3_apa(scenario, on_date=args.date, jobs=args.jobs)
     names = list(apa_rows[0].values)
     rows = [
         (f"{row.path[0]}-{row.path[1]}", *(f"{row.values[n]}%" for n in names))
@@ -119,8 +120,17 @@ def _cmd_table3(args: argparse.Namespace) -> int:
 
 def _cmd_timeline(args: argparse.Namespace) -> int:
     scenario = paper2020_scenario()
-    latencies = fig1_latency_evolution(scenario)
-    counts = fig2_active_licenses(scenario)
+    if args.jobs == 1:
+        latencies = fig1_latency_evolution(scenario)
+        counts = fig2_active_licenses(scenario)
+    else:
+        from repro.parallel import GridSession
+
+        # One session (one pool, one set of merged caches) serves both
+        # figure grids.
+        with GridSession(scenario.engine(), args.jobs) as session:
+            latencies = fig1_latency_evolution(scenario, session=session)
+            counts = fig2_active_licenses(scenario, session=session)
     dates = next(iter(counts.values())).dates
     header = ("Licensee", *(d.isoformat() for d in dates))
     latency_rows = [
@@ -409,7 +419,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _obs_parent_parser() -> argparse.ArgumentParser:
-    """The ``--trace``/``--metrics`` flag pair shared by every subcommand."""
+    """The ``--trace``/``--metrics``/``--jobs`` flags shared by every
+    subcommand."""
     parent = argparse.ArgumentParser(add_help=False)
     group = parent.add_argument_group("observability")
     group.add_argument(
@@ -420,6 +431,12 @@ def _obs_parent_parser() -> argparse.ArgumentParser:
         "--metrics", action="store_true",
         help="after the command, print a metrics summary (cache hit "
         "counts, span timings) to stderr",
+    )
+    execution = parent.add_argument_group("execution")
+    execution.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan analysis work out over N logical workers "
+        "(repro.parallel; output is byte-identical for any N)",
     )
     return parent
 

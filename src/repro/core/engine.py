@@ -141,6 +141,14 @@ class _LruCache:
             self.evictions += 1
         self._entries[key] = value
 
+    def items(self) -> tuple[tuple[Hashable, object], ...]:
+        """Every cached (key, value) pair, LRU order (oldest first)."""
+        return tuple(self._entries.items())
+
+    def keys(self) -> frozenset:
+        """The cached keys (for delta computation)."""
+        return frozenset(self._entries)
+
     def clear(self) -> None:
         self._entries.clear()
 
@@ -151,6 +159,62 @@ class _LruCache:
             evictions=self.evictions,
             size=len(self._entries),
         )
+
+
+def _counter_delta(now: CacheCounter, before: CacheCounter) -> CacheCounter:
+    """Counter activity between two snapshots (``size`` = current size)."""
+    return CacheCounter(
+        hits=now.hits - before.hits,
+        misses=now.misses - before.misses,
+        evictions=now.evictions - before.evictions,
+        size=now.size,
+    )
+
+
+@dataclass(frozen=True)
+class EngineCacheExport:
+    """A picklable copy of an engine's cache *contents* (no counters).
+
+    Produced by :meth:`CorridorEngine.export_cache_state` and installed
+    with :meth:`CorridorEngine.seed_cache_state`: the parallel layer ships
+    one of these to each worker so a fanned-out grid starts from the same
+    warm state a serial run would have at that point.  Every entry is
+    exact (memoised Vincenty solutions, the cached network/route objects
+    themselves), so seeding never perturbs results.
+    """
+
+    params_key: tuple
+    snapshots: tuple[tuple[Hashable, HftNetwork], ...]
+    routes: tuple[tuple[Hashable, Route | None], ...]
+    geodesic: tuple[tuple[tuple, tuple], ...]
+
+
+@dataclass(frozen=True)
+class EngineCacheBaseline:
+    """Key sets + counters at one instant (delta bookkeeping, not pickled)."""
+
+    snapshot_keys: frozenset
+    route_keys: frozenset
+    geodesic_keys: frozenset
+    stats: CacheStats
+
+
+@dataclass(frozen=True)
+class EngineCacheDelta:
+    """What one engine learned since a baseline: new entries + counters.
+
+    Workers return these to the parent process, which
+    :meth:`CorridorEngine.absorb_cache_delta`\\ s them so the parallel run
+    leaves the parent engine in the same warm cache state a serial run
+    would — entries are installed without inflating hit/miss counters and
+    the worker's counter activity is added on top.
+    """
+
+    params_key: tuple
+    snapshots: tuple[tuple[Hashable, HftNetwork], ...]
+    routes: tuple[tuple[Hashable, Route | None], ...]
+    geodesic: tuple[tuple[tuple, tuple], ...]
+    stats: CacheStats
 
 
 class CorridorEngine:
@@ -492,6 +556,122 @@ class CorridorEngine:
         self._snapshots.clear()
         self._routes.clear()
         self._geodesic_memo.clear()
+
+    # ------------------------------------------------------------------
+    # Cache transplanting (the repro.parallel merge-back protocol)
+    # ------------------------------------------------------------------
+
+    def export_cache_state(
+        self, geodesic_only: bool = False
+    ) -> EngineCacheExport:
+        """A picklable copy of the current cache contents (no counters).
+
+        With ``geodesic_only`` the snapshot/route caches are omitted:
+        geodesic memo entries are parameter-independent exact solutions,
+        so they may seed a *differently*-parameterised engine (sibling
+        seeding in a sweep), while snapshots/routes are only meaningful
+        under the same ``params_key``.
+        """
+        memo = self._geodesic_memo
+        return EngineCacheExport(
+            params_key=self.params_key,
+            snapshots=() if geodesic_only else self._snapshots.items(),
+            routes=() if geodesic_only else self._routes.items(),
+            geodesic=memo.entries(),
+        )
+
+    def seed_cache_state(
+        self, export: EngineCacheExport, geodesic_only: bool = False
+    ) -> None:
+        """Install exported entries into this engine's caches.
+
+        Installation counts no hits or misses (it is not a lookup);
+        entries beyond a cache's capacity evict LRU-first as usual.
+        Snapshot/route entries require a matching ``params_key`` — pass
+        ``geodesic_only`` to transplant only the memo across
+        parameterisations.
+        """
+        if not geodesic_only and export.params_key != self.params_key:
+            raise ValueError(
+                "cache export was taken under different reconstruction "
+                "parameters; re-export with geodesic_only=True"
+            )
+        for key, solution in export.geodesic:
+            self._geodesic_memo.store(key, solution)
+        if geodesic_only:
+            return
+        for key, network in export.snapshots:
+            self._snapshots.put(key, network)
+        for key, route in export.routes:
+            self._routes.put(key, route)
+
+    def cache_baseline(self) -> EngineCacheBaseline:
+        """A point-in-time marker for :meth:`collect_cache_delta`."""
+        return EngineCacheBaseline(
+            snapshot_keys=self._snapshots.keys(),
+            route_keys=self._routes.keys(),
+            geodesic_keys=self._geodesic_memo.keys(),
+            stats=self.stats,
+        )
+
+    def collect_cache_delta(
+        self, baseline: EngineCacheBaseline
+    ) -> EngineCacheDelta:
+        """Entries learned and counter activity since ``baseline``."""
+        now = self.stats
+        return EngineCacheDelta(
+            params_key=self.params_key,
+            snapshots=tuple(
+                (key, value)
+                for key, value in self._snapshots.items()
+                if key not in baseline.snapshot_keys
+            ),
+            routes=tuple(
+                (key, value)
+                for key, value in self._routes.items()
+                if key not in baseline.route_keys
+            ),
+            geodesic=tuple(
+                (key, value)
+                for key, value in self._geodesic_memo.entries()
+                if key not in baseline.geodesic_keys
+            ),
+            stats=CacheStats(
+                snapshot=_counter_delta(now.snapshot, baseline.stats.snapshot),
+                route=_counter_delta(now.route, baseline.stats.route),
+                geodesic=_counter_delta(now.geodesic, baseline.stats.geodesic),
+            ),
+        )
+
+    def absorb_cache_delta(self, delta: EngineCacheDelta) -> None:
+        """Merge a worker's delta back: entries installed, counters added.
+
+        After absorbing every worker's delta, the parent engine holds the
+        same cache contents a serial run would have produced, and its
+        counters account for the work the workers did on its behalf.
+        """
+        if delta.params_key != self.params_key:
+            raise ValueError(
+                "cache delta was collected under different reconstruction "
+                "parameters than this engine's"
+            )
+        for key, solution in delta.geodesic:
+            self._geodesic_memo.store(key, solution)
+        for key, network in delta.snapshots:
+            self._snapshots.put(key, network)
+        for key, route in delta.routes:
+            self._routes.put(key, route)
+        memo = self._geodesic_memo
+        memo.hits += delta.stats.geodesic.hits
+        memo.misses += delta.stats.geodesic.misses
+        memo.evictions += delta.stats.geodesic.evictions
+        for cache, counter in (
+            (self._snapshots, delta.stats.snapshot),
+            (self._routes, delta.stats.route),
+        ):
+            cache.hits += counter.hits
+            cache.misses += counter.misses
+            cache.evictions += counter.evictions
 
     def with_params(self, **overrides) -> "CorridorEngine":
         """A fresh engine sharing this database with parameter overrides.

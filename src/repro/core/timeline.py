@@ -24,9 +24,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
 def yearly_snapshot_dates(
     first_year: int = 2013,
     last_year: int = 2019,
-    final_date: dt.date = dt.date(2020, 4, 1),
+    final_date: dt.date | None = dt.date(2020, 4, 1),
 ) -> list[dt.date]:
-    """The paper's date grid: Jan 1 of each year, then the final date."""
+    """The paper's date grid: Jan 1 of each year, then the final date.
+
+    ``final_date=None`` yields the bare yearly grid (no 2020-04-01
+    sample) — callers replaying only the annual reconstruction use this.
+    """
     if last_year < first_year:
         raise ValueError("last_year must be >= first_year")
     dates = [dt.date(year, 1, 1) for year in range(first_year, last_year + 1)]

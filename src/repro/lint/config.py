@@ -61,6 +61,12 @@ DEFAULT_OBS_ALLOWED = (
     "benchmarks/",
 )
 
+#: Path prefixes allowed to construct pools/processes directly; everything
+#: else must fan out through ``repro.parallel``.
+DEFAULT_PARALLEL_ALLOWED = (
+    "src/repro/parallel/",
+)
+
 _KNOWN_TOP_KEYS = {"enable", "baseline", "default_paths"}
 
 
@@ -103,6 +109,10 @@ class LintConfig:
     def obs_allowed_paths(self) -> tuple[str, ...]:
         allowed = self.options_for("obs-discipline").get("allowed")
         return tuple(allowed) if allowed is not None else DEFAULT_OBS_ALLOWED
+
+    def parallel_allowed_paths(self) -> tuple[str, ...]:
+        allowed = self.options_for("parallel-discipline").get("allowed")
+        return tuple(allowed) if allowed is not None else DEFAULT_PARALLEL_ALLOWED
 
 
 def find_project_root(start: Path | None = None) -> Path:

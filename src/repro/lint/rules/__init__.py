@@ -16,5 +16,6 @@ from repro.lint.rules import (  # noqa: F401  (imports register the rules)
     floats,
     hygiene,
     obs,
+    parallel,
     units,
 )

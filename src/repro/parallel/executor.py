@@ -1,0 +1,353 @@
+"""The deterministic fan-out executor (:class:`ParallelMap` / :func:`pmap`).
+
+Every parallel code path in this repository runs through here — the lint
+rule ``parallel-discipline`` confines pool construction to this package —
+and every backend obeys one contract:
+
+* **Ordered reduction.**  Items are split into contiguous, balanced
+  chunks; chunk index is the logical *worker id*; results are reassembled
+  in submission order regardless of completion order.  ``map`` therefore
+  returns exactly ``[fn(item) for item in items]`` no matter the backend.
+* **jobs=1 is the serial code path.**  With one job there is no chunking
+  machinery between the caller and its function: the items run in a plain
+  in-process loop, in order, against the caller's own objects.
+* **Spawn safety.**  The process backend uses the ``spawn`` start method
+  (no inherited interpreter state); worker context is rebuilt in each
+  worker from a picklable :class:`ContextSpec` (a module-level factory
+  plus arguments), never captured from the parent by forking.
+
+Backends
+--------
+``serial``
+    ``jobs == 1``.  One chunk, run inline.
+``inline``
+    ``jobs > 1`` but executed sequentially in-process with the same
+    chunking and worker ids the process backend would use.  This is the
+    automatic choice when the machine has no second usable CPU — fanning
+    out processes there only adds spawn latency — and it keeps worker-id
+    span tagging and chunk bookkeeping identical across hosts.
+``process``
+    A spawn-safe :class:`concurrent.futures.ProcessPoolExecutor`, one
+    task per chunk, pool reused across ``map`` calls.
+
+Observability: each task runs under an ``obs.span("parallel.task", ...)``
+carrying its worker id and submission index.  Process workers run their
+chunk under an isolated capture and ship the resulting metrics-registry
+snapshot home, where it is absorbed into the active session registry
+(:meth:`repro.obs.MetricsRegistry.absorb`).  Worker span *records* are
+process-local and are not re-emitted to parent trace sinks; their
+aggregated timings arrive via the registry merge (DESIGN.md §9).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro import obs
+
+#: Backends a caller may force; "auto" resolves per machine.
+BACKENDS = ("serial", "inline", "process")
+
+
+def usable_cpu_count() -> int:
+    """CPUs this process may actually schedule on (affinity-aware)."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def resolve_backend(jobs: int, backend: str = "auto") -> str:
+    """The backend a (jobs, request) pair runs under.
+
+    ``jobs == 1`` is always ``serial``.  ``auto`` picks ``process`` when a
+    second usable CPU exists and ``inline`` otherwise; forcing
+    ``"inline"`` or ``"process"`` overrides the machine check (tests
+    force ``process`` to exercise spawn transport on any host).
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1:
+        return "serial"
+    if backend == "auto":
+        return "process" if usable_cpu_count() > 1 else "inline"
+    if backend in ("inline", "process"):
+        return backend
+    raise ValueError(f"unknown backend {backend!r} (use {BACKENDS})")
+
+
+def chunk_spans(n_items: int, jobs: int) -> list[tuple[int, int]]:
+    """Contiguous balanced ``[start, stop)`` spans, one per worker.
+
+    The first ``n_items % jobs`` chunks get the extra item; empty chunks
+    are dropped, so worker ids are dense even when items < jobs.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    size, extra = divmod(n_items, jobs)
+    spans = []
+    start = 0
+    for worker in range(jobs):
+        stop = start + size + (1 if worker < extra else 0)
+        if stop > start:
+            spans.append((start, stop))
+        start = stop
+    return spans
+
+
+@dataclass(frozen=True)
+class ContextSpec:
+    """How a worker rebuilds its per-process context.
+
+    ``factory`` must be a module-level callable (picklable by reference);
+    ``args`` its pickled arguments.  Each worker process calls
+    ``factory(*args)`` exactly once, at pool initialisation, and every
+    chunk that worker runs receives the resulting object as ``ctx``.
+
+    If the context object defines ``begin_chunk(worker_id)``, it is
+    invoked at the start of every chunk (both in workers and for the
+    local backends) so per-chunk state — e.g. which logical worker a
+    grid task is running as — is available to tasks.
+    """
+
+    factory: Callable[..., object]
+    args: tuple = ()
+
+    def build(self) -> object:
+        return self.factory(*self.args)
+
+
+# -- worker-process plumbing (process backend only) ---------------------
+
+_WORKER_CONTEXT: object | None = None
+
+
+def _worker_init(spec: ContextSpec | None) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = spec.build() if spec is not None else None
+
+
+def _run_task(fn, ctx, has_context, worker, index, item):
+    with obs.span("parallel.task", worker=worker, index=index):
+        obs.count("parallel.tasks")
+        return fn(ctx, item) if has_context else fn(item)
+
+
+def _run_chunk_local(fn, ctx, has_context, worker, pairs, setup, setup_arg):
+    if ctx is not None and hasattr(ctx, "begin_chunk"):
+        ctx.begin_chunk(worker)
+    if setup is not None:
+        setup(ctx, setup_arg)
+    return [
+        _run_task(fn, ctx, has_context, worker, index, item)
+        for index, item in pairs
+    ]
+
+
+def _run_chunk_in_worker(
+    fn, has_context, worker, pairs, setup, setup_arg, finalize, observe
+):
+    """One chunk, executed in a worker process.
+
+    Returns ``(results, finalize_result, registry_snapshot)``; the parent
+    absorbs the latter two in chunk order (deterministic merge).
+    """
+    ctx = _WORKER_CONTEXT
+    if observe:
+        with obs.capture() as cap:
+            results = _run_chunk_local(
+                fn, ctx, has_context, worker, pairs, setup, setup_arg
+            )
+            extra = finalize(ctx) if finalize is not None else None
+        return results, extra, cap.registry.snapshot()
+    results = _run_chunk_local(
+        fn, ctx, has_context, worker, pairs, setup, setup_arg
+    )
+    extra = finalize(ctx) if finalize is not None else None
+    return results, extra, None
+
+
+class ParallelMap:
+    """A reusable fan-out executor with a fixed jobs/backend/context.
+
+    Parameters
+    ----------
+    jobs:
+        Worker count.  ``1`` short-circuits to the serial code path.
+    backend:
+        ``"auto"`` (default), or force ``"inline"`` / ``"process"``.
+    context:
+        Optional :class:`ContextSpec`; when given, tasks are invoked as
+        ``fn(ctx, item)`` (``fn(item)`` otherwise).
+    local_context:
+        The context object used by the serial/inline backends instead of
+        building one from ``context`` — callers whose parent-side state
+        *is* the context (a :class:`~repro.parallel.grid.GridSession`, a
+        scraper) pass themselves here so ``jobs=1`` touches exactly the
+        objects a pre-parallel caller would have.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        *,
+        backend: str = "auto",
+        context: ContextSpec | None = None,
+        local_context: object | None = None,
+    ) -> None:
+        self.jobs = jobs
+        self.backend = resolve_backend(jobs, backend)
+        self._context = context
+        self._local_context = local_context
+        self._pool: ProcessPoolExecutor | None = None
+
+    # -- pool lifecycle ------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            # The one place in the repository a process pool is built
+            # (enforced by the parallel-discipline lint rule): spawn
+            # context, context rebuilt per worker from the picklable spec.
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                mp_context=multiprocessing.get_context("spawn"),
+                initializer=_worker_init,
+                initargs=(self._context,),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (no-op for local backends)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelMap":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self.close()
+        return False
+
+    def _local(self) -> object | None:
+        if self._local_context is not None:
+            return self._local_context
+        if self._context is not None:
+            # Built once and kept: repeated map() calls on the local
+            # backends reuse one context, as one worker process would.
+            self._local_context = self._context.build()
+            return self._local_context
+        return None
+
+    # -- the API -------------------------------------------------------
+
+    def map(
+        self,
+        fn: Callable,
+        items: Sequence,
+        *,
+        setup: Callable | None = None,
+        setup_arg: object = None,
+        finalize: Callable | None = None,
+        on_chunk_result: Callable | None = None,
+    ) -> list:
+        """``[fn(item) for item in items]``, fanned out and re-ordered.
+
+        ``setup(ctx, setup_arg)`` runs once per chunk before its tasks
+        (workers receive ``setup_arg`` pickled once per chunk — this is
+        how cache seeds travel).  ``finalize(ctx)`` runs once per chunk
+        after its tasks; its return value is handed to
+        ``on_chunk_result(worker, value)`` in chunk order back in the
+        parent (how cache deltas travel home).  All hooks must be
+        module-level callables under the process backend.
+        """
+        items = list(items)
+        has_context = self._context is not None or self._local_context is not None
+        with obs.span(
+            "parallel.map",
+            jobs=self.jobs,
+            backend=self.backend,
+            items=len(items),
+        ):
+            if self.backend == "process":
+                return self._map_process(
+                    fn, items, has_context, setup, setup_arg,
+                    finalize, on_chunk_result,
+                )
+            return self._map_local(
+                fn, items, has_context, setup, setup_arg,
+                finalize, on_chunk_result,
+            )
+
+    def _map_local(
+        self, fn, items, has_context, setup, setup_arg, finalize, on_chunk_result
+    ) -> list:
+        ctx = self._local()
+        spans = (
+            [(0, len(items))] if self.backend == "serial"
+            else chunk_spans(len(items), self.jobs)
+        )
+        results: list = []
+        for worker, (start, stop) in enumerate(spans):
+            pairs = [(index, items[index]) for index in range(start, stop)]
+            results.extend(
+                _run_chunk_local(
+                    fn, ctx, has_context, worker, pairs, setup, setup_arg
+                )
+            )
+            if finalize is not None:
+                extra = finalize(ctx)
+                if on_chunk_result is not None:
+                    on_chunk_result(worker, extra)
+        return results
+
+    def _map_process(
+        self, fn, items, has_context, setup, setup_arg, finalize, on_chunk_result
+    ) -> list:
+        observe = obs.is_enabled()
+        pool = self._ensure_pool()
+        futures = []
+        for worker, (start, stop) in enumerate(chunk_spans(len(items), self.jobs)):
+            pairs = [(index, items[index]) for index in range(start, stop)]
+            futures.append(
+                pool.submit(
+                    _run_chunk_in_worker,
+                    fn, has_context, worker, pairs,
+                    setup, setup_arg, finalize, observe,
+                )
+            )
+        results: list = []
+        # Collect in submission (= chunk) order: the reduction is ordered
+        # no matter which worker finishes first, and chunk extras /
+        # registry snapshots merge in the same deterministic order.
+        for worker, future in enumerate(futures):
+            chunk_results, extra, registry_snapshot = future.result()
+            results.extend(chunk_results)
+            if registry_snapshot is not None and obs.is_enabled():
+                registry = obs.get_registry()
+                if registry is not None:
+                    registry.absorb(registry_snapshot)
+            if on_chunk_result is not None:
+                on_chunk_result(worker, extra)
+        return results
+
+
+def pmap(
+    fn: Callable,
+    items: Sequence,
+    jobs: int = 1,
+    *,
+    backend: str = "auto",
+    context: ContextSpec | None = None,
+) -> list:
+    """One-shot :class:`ParallelMap`: ``[fn(item) for item in items]``.
+
+    The convenience entry point for stateless fan-out; drivers that reuse
+    a pool or merge caches hold a :class:`ParallelMap` (or a
+    :class:`~repro.parallel.grid.GridSession`) instead.
+    """
+    with ParallelMap(jobs, backend=backend, context=context) as executor:
+        return executor.map(fn, items)

@@ -41,6 +41,16 @@ class TestDateGrid:
         with pytest.raises(ValueError):
             yearly_snapshot_dates(2013, 2019, final_date=dt.date(2018, 1, 1))
 
+    def test_none_final_date_yields_bare_yearly_grid(self):
+        dates = yearly_snapshot_dates(final_date=None)
+        assert dates == [dt.date(year, 1, 1) for year in range(2013, 2020)]
+
+    def test_none_final_date_custom_range(self):
+        assert yearly_snapshot_dates(2018, 2019, final_date=None) == [
+            dt.date(2018, 1, 1),
+            dt.date(2019, 1, 1),
+        ]
+
 
 class TestLatencyTimeline:
     def test_series_tracks_grant_and_cancellation(self):

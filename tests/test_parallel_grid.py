@@ -1,0 +1,292 @@
+"""Tests for grid fan-out sessions and the cache merge-back contract.
+
+The core promise under test: a parallel grid run returns exactly the
+results a serial run would, and leaves the parent
+:class:`~repro.core.engine.CorridorEngine` in the same warm cache state —
+identical geodesic-memo contents and equivalent
+:class:`~repro.core.engine.CacheStats` totals.  Process-backend tests
+force ``backend="process"`` (auto resolves to inline on one-CPU hosts).
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import CorridorEngine
+from repro.parallel import GridSession, grid_session
+
+FEATURED = (
+    "National Tower Company",
+    "Webline Holdings",
+    "Jefferson Microwave",
+    "Pierce Broadband",
+    "New Line Networks",
+)
+
+DATES = (dt.date(2016, 1, 1), dt.date(2019, 1, 1))
+
+
+# -- module-level task functions (picklable for the process backend) ----
+
+def _latency_series(ctx, item):
+    name, dates = item
+    return tuple(
+        point.latency_ms for point in ctx.engine.timeline(name, dates)
+    )
+
+
+def _worker_id_task(ctx, item):
+    return ctx.worker
+
+
+def _count_filings(ctx, item):
+    return len(ctx.scraper.licenses_of(item))
+
+
+def _fresh_engine(scenario) -> CorridorEngine:
+    """A cold default-params engine (never the scenario's shared one)."""
+    return CorridorEngine(scenario.database, scenario.corridor)
+
+
+def _memo_contents(engine: CorridorEngine) -> dict:
+    return dict(engine._geodesic_memo.entries())
+
+
+class TestEngineCacheTransplant:
+    def test_export_seed_roundtrip_serves_hits(self, scenario):
+        warm = _fresh_engine(scenario)
+        warm.snapshot("Webline Holdings", DATES[1])
+        cold = _fresh_engine(scenario)
+        cold.seed_cache_state(warm.export_cache_state())
+        # Seeding is an install, not a lookup: no counters moved.
+        assert cold.stats.snapshot.lookups == 0
+        assert cold.stats.geodesic.lookups == 0
+        # The seeded snapshot is served from cache.
+        network = cold.snapshot("Webline Holdings", DATES[1])
+        assert cold.stats.snapshot.hits == 1
+        assert cold.stats.snapshot.misses == 0
+        assert network is warm.snapshot("Webline Holdings", DATES[1])
+
+    def test_seed_rejects_mismatched_params(self, scenario):
+        warm = _fresh_engine(scenario)
+        warm.snapshot("Webline Holdings", DATES[1])
+        sibling = warm.with_params(stitch_tolerance_m=120.0)
+        with pytest.raises(ValueError):
+            sibling.seed_cache_state(warm.export_cache_state())
+
+    def test_geodesic_only_seed_crosses_parameterisations(self, scenario):
+        warm = _fresh_engine(scenario)
+        warm.snapshot("Webline Holdings", DATES[1])
+        sibling = warm.with_params(stitch_tolerance_m=120.0)
+        sibling.seed_cache_state(
+            warm.export_cache_state(geodesic_only=True), geodesic_only=True
+        )
+        assert _memo_contents(sibling) == _memo_contents(warm)
+        assert len(sibling._snapshots) == 0
+
+    def test_delta_reports_only_new_entries_and_activity(self, scenario):
+        engine = _fresh_engine(scenario)
+        engine.snapshot("Webline Holdings", DATES[1])
+        baseline = engine.cache_baseline()
+        empty = engine.collect_cache_delta(baseline)
+        assert not (empty.snapshots or empty.routes or empty.geodesic)
+        assert empty.stats.snapshot.lookups == 0
+
+        engine.snapshot("Webline Holdings", DATES[1])  # pure cache hit
+        engine.snapshot("New Line Networks", DATES[1])  # new entry
+        delta = engine.collect_cache_delta(baseline)
+        assert [key for key, _ in delta.snapshots] == [
+            engine.snapshot_key("New Line Networks", DATES[1])
+        ]
+        assert delta.stats.snapshot.hits == 1
+        assert delta.stats.snapshot.misses == 1
+
+    def test_absorb_reproduces_serial_cache_state(self, scenario):
+        serial = _fresh_engine(scenario)
+        serial.snapshot("Webline Holdings", DATES[1])
+        serial.snapshot("New Line Networks", DATES[1])
+
+        parent = _fresh_engine(scenario)
+        parent.snapshot("Webline Holdings", DATES[1])
+        worker = _fresh_engine(scenario)
+        worker.seed_cache_state(parent.export_cache_state())
+        baseline = worker.cache_baseline()
+        worker.snapshot("New Line Networks", DATES[1])
+        parent.absorb_cache_delta(worker.collect_cache_delta(baseline))
+
+        assert _memo_contents(parent) == _memo_contents(serial)
+        assert parent._snapshots.keys() == serial._snapshots.keys()
+        assert parent.stats == serial.stats
+
+    def test_absorb_rejects_mismatched_params(self, scenario):
+        engine = _fresh_engine(scenario)
+        sibling = engine.with_params(stitch_tolerance_m=120.0)
+        sibling.snapshot("Webline Holdings", DATES[1])
+        delta = sibling.collect_cache_delta(_fresh_engine(scenario)
+                                            .with_params(stitch_tolerance_m=120.0)
+                                            .cache_baseline())
+        with pytest.raises(ValueError):
+            engine.absorb_cache_delta(delta)
+
+
+class TestGridSessionRouting:
+    def test_default_params_route_to_parent(self, scenario):
+        engine = _fresh_engine(scenario)
+        with GridSession(engine, 1) as session:
+            assert session.engine_for(None) is engine
+
+    def test_serial_overrides_get_fresh_engines_per_call(self, scenario):
+        engine = _fresh_engine(scenario)
+        key = (("stitch_tolerance_m", 120.0),)
+        with GridSession(engine, 1) as session:
+            first = session.engine_for(key)
+            second = session.engine_for(key)
+        assert first is not second
+        assert first is not engine
+
+    def test_parallel_overrides_pool_seeded_siblings(self, scenario):
+        engine = _fresh_engine(scenario)
+        engine.snapshot("Webline Holdings", DATES[1])  # warm the memo
+        key = (("stitch_tolerance_m", 120.0),)
+        with GridSession(engine, 2, backend="inline") as session:
+            first = session.engine_for(key)
+            second = session.engine_for(key)
+            assert first is second
+            assert _memo_contents(first) == _memo_contents(engine)
+            assert len(first._snapshots) == 0  # geodesic-only seed
+
+    def test_worker_ids_are_chunk_indices(self, scenario):
+        engine = _fresh_engine(scenario)
+        with GridSession(engine, 2, backend="inline") as session:
+            workers = session.map(_worker_id_task, list(range(4)))
+        assert workers == [0, 0, 1, 1]
+
+    def test_params_callable_pools_one_sibling_per_override_set(self, scenario):
+        engine = _fresh_engine(scenario)
+        items = [("Webline Holdings", 90.0), ("Webline Holdings", 120.0)]
+        with GridSession(engine, 2, backend="inline") as session:
+            session.map(
+                _worker_id_task,
+                items,
+                params=lambda item: {"stitch_tolerance_m": item[1]},
+            )
+            assert set(session._siblings) == {
+                (("stitch_tolerance_m", 90.0),),
+                (("stitch_tolerance_m", 120.0),),
+            }
+
+
+class TestSerialParallelEquivalence:
+    """The ISSUE's property: serial and parallel runs agree on results,
+    geodesic-memo contents, and CacheStats totals on the parent engine."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        names=st.lists(
+            st.sampled_from(FEATURED), min_size=1, max_size=3, unique=True
+        ),
+        jobs=st.integers(min_value=2, max_value=4),
+    )
+    def test_inline_grid_leaves_identical_parent_state(
+        self, scenario, names, jobs
+    ):
+        items = [(name, DATES) for name in names]
+
+        serial_engine = _fresh_engine(scenario)
+        with GridSession(serial_engine, 1) as session:
+            expected = session.map(_latency_series, items)
+
+        parallel_engine = _fresh_engine(scenario)
+        with GridSession(parallel_engine, jobs, backend="inline") as session:
+            got = session.map(_latency_series, items)
+
+        assert got == expected
+        assert _memo_contents(parallel_engine) == _memo_contents(serial_engine)
+        assert parallel_engine.stats == serial_engine.stats
+
+    def test_override_sweep_matches_serial_and_spares_parent(self, scenario):
+        items = [("Webline Holdings", DATES), ("New Line Networks", DATES)]
+        params = {"stitch_tolerance_m": 120.0}
+
+        serial_engine = _fresh_engine(scenario)
+        with GridSession(serial_engine, 1) as session:
+            expected = session.map(_latency_series, items, params=params)
+        serial_stats = serial_engine.stats
+
+        parallel_engine = _fresh_engine(scenario)
+        with GridSession(parallel_engine, 3, backend="inline") as session:
+            got = session.map(_latency_series, items, params=params)
+
+        assert got == expected
+        # Override tasks run on siblings; the parent engine is untouched
+        # either way (counters idle, memo empty on these cold parents).
+        assert parallel_engine.stats == serial_stats
+        assert _memo_contents(parallel_engine) == _memo_contents(serial_engine)
+
+
+class TestProcessGrid:
+    """Spawn transport for the grid: seeds out, deltas home."""
+
+    def test_process_grid_matches_serial_and_merges_back(self, scenario):
+        items = [(name, DATES) for name in FEATURED[:4]]
+
+        serial_engine = _fresh_engine(scenario)
+        with GridSession(serial_engine, 1) as session:
+            expected = session.map(_latency_series, items)
+
+        parallel_engine = _fresh_engine(scenario)
+        with GridSession(parallel_engine, 2, backend="process") as session:
+            got = session.map(_latency_series, items)
+
+        assert got == expected
+        # Merge-back left the parent holding the same learned entries.
+        assert _memo_contents(parallel_engine) == _memo_contents(serial_engine)
+        assert parallel_engine._snapshots.keys() == serial_engine._snapshots.keys()
+        assert parallel_engine._routes.keys() == serial_engine._routes.keys()
+        # Lookup totals match exactly: each licensee's reconstruction work
+        # is fixed, only the hit/miss split may shift with worker-local
+        # memo warmth.
+        for cache in ("snapshot", "route", "geodesic"):
+            parallel_counter = getattr(parallel_engine.stats, cache)
+            serial_counter = getattr(serial_engine.stats, cache)
+            assert parallel_counter.lookups == serial_counter.lookups
+
+    def test_process_session_reuses_pool_across_maps(self, scenario):
+        engine = _fresh_engine(scenario)
+        items = [(name, (DATES[1],)) for name in FEATURED[:2]]
+        with GridSession(engine, 2, backend="process") as session:
+            first = session.map(_latency_series, items)
+            pool = session._pmap._pool
+            second = session.map(_latency_series, items)
+            assert session._pmap._pool is pool
+        assert first == second
+
+
+class TestScraperBatching:
+    def test_count_filings_parallel_matches_serial(self, scenario):
+        from repro.uls.portal import UlsPortal
+        from repro.uls.scraper import UlsScraper
+
+        names = list(FEATURED[:3])
+        serial = UlsScraper(UlsPortal(scenario.database))
+        expected = serial.count_filings(names)
+
+        batched = UlsScraper(UlsPortal(scenario.database))
+        got = batched.count_filings(names, jobs=2)
+
+        assert got == expected
+        assert batched.stats == serial.stats
+
+    def test_grid_tasks_share_session_scraper(self, scenario):
+        engine = _fresh_engine(scenario)
+        with grid_session(engine, 2) as session:
+            counts = session.map(_count_filings, list(FEATURED[:2]))
+            stats = session.scraper.stats
+        assert all(count > 0 for count in counts)
+        # Both tasks' page traffic landed on the session's one scraper
+        # (inline backends share it; process workers merge theirs back).
+        assert stats.search_pages >= 2
