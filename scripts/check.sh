@@ -40,3 +40,17 @@ for cmd in funnel timeline table1; do
         exit 1
     fi
 done
+
+# Incremental-evolution gate: cursor-based snapshot resolution must be
+# invisible in the output.  timeline (Fig 1 + Fig 2) is diffed against
+# its --no-incremental (full fingerprint rescan) twin on both the paper
+# grid and the dense monthly grid, serial and fanned out.
+for step in "" "--step monthly"; do
+    for jobs in 1 4; do
+        if ! diff <(python -m repro timeline $step --jobs "$jobs") \
+                  <(python -m repro timeline $step --jobs "$jobs" --no-incremental); then
+            echo "check.sh: timeline $step --jobs $jobs differs under --no-incremental" >&2
+            exit 1
+        fi
+    done
+done

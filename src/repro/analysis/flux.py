@@ -87,9 +87,11 @@ def race_history(
 ) -> RaceHistory:
     """Rank every (candidate) network at every snapshot date.
 
-    All dates share the scenario's engine: years in which a licensee's
-    active-license set is unchanged hit the snapshot cache instead of
-    re-stitching the network.
+    All dates share the scenario's engine, and the sweep walks the date
+    grid in ascending (evolution) order: each licensee's snapshot key
+    evolves from its cursor via the temporal index, so years in which a
+    licensee's active-license set is unchanged reuse the cached network
+    outright — no fingerprint rescan, let alone re-stitching.
     """
     dates = dates or yearly_snapshot_dates()
     names = licensees if licensees is not None else list(scenario.connected_names) + [

@@ -119,18 +119,23 @@ def _cmd_table3(args: argparse.Namespace) -> int:
 
 
 def _cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.core.timeline import dense_date_grid
+
     scenario = paper2020_scenario()
+    dates = dense_date_grid(args.step) if args.step != "paper" else None
     if args.jobs == 1:
-        latencies = fig1_latency_evolution(scenario)
-        counts = fig2_active_licenses(scenario)
+        latencies = fig1_latency_evolution(scenario, dates=dates)
+        counts = fig2_active_licenses(scenario, dates=dates)
     else:
         from repro.parallel import GridSession
 
         # One session (one pool, one set of merged caches) serves both
         # figure grids.
         with GridSession(scenario.engine(), args.jobs) as session:
-            latencies = fig1_latency_evolution(scenario, session=session)
-            counts = fig2_active_licenses(scenario, session=session)
+            latencies = fig1_latency_evolution(
+                scenario, dates=dates, session=session
+            )
+            counts = fig2_active_licenses(scenario, dates=dates, session=session)
     dates = next(iter(counts.values())).dates
     header = ("Licensee", *(d.isoformat() for d in dates))
     latency_rows = [
@@ -438,6 +443,12 @@ def _obs_parent_parser() -> argparse.ArgumentParser:
         help="fan analysis work out over N logical workers "
         "(repro.parallel; output is byte-identical for any N)",
     )
+    execution.add_argument(
+        "--no-incremental", action="store_true",
+        help="disable incremental snapshot evolution (full active-set "
+        "scan per date, the pre-index behaviour; output is byte-"
+        "identical either way)",
+    )
     return parent
 
 
@@ -466,6 +477,14 @@ def build_parser() -> argparse.ArgumentParser:
         cmd = sub.add_parser(name, help=help_text, parents=[obs_parent])
         cmd.add_argument("--date", type=_parse_date, default=None,
                          help="snapshot date (YYYY-MM-DD; default 2020-04-01)")
+        if name == "timeline":
+            cmd.add_argument(
+                "--step", choices=("paper", "monthly", "weekly"),
+                default="paper",
+                help="date-grid density: the paper's yearly snapshots "
+                "(default) or a dense monthly/weekly grid walked as "
+                "successive deltas",
+            )
         cmd.set_defaults(func=func)
 
     export = sub.add_parser(
@@ -557,6 +576,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "no_incremental", False):
+        # Flip the module default before any engine is constructed: the
+        # scenario's shared engine is built lazily on first use, so every
+        # consumer (and every worker it spawns) inherits full-scan mode.
+        from repro.core import engine as engine_mod
+
+        engine_mod.INCREMENTAL_DEFAULT = False
     trace_path = getattr(args, "trace", None)
     want_metrics = getattr(args, "metrics", False)
     trace_sink = None

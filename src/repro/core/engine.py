@@ -61,6 +61,12 @@ DEFAULT_SNAPSHOT_CACHE_SIZE = 512
 #: Default bound on cached routes ((snapshot, source, target) triples).
 DEFAULT_ROUTE_CACHE_SIZE = 4096
 
+#: Process-wide default for :class:`CorridorEngine`'s ``incremental``
+#: flag.  The CLI's ``--no-incremental`` flips this to replay the
+#: pre-index behaviour (a full fingerprint scan per request) for the
+#: byte-identity diff gates and honest benchmarking.
+INCREMENTAL_DEFAULT = True
+
 _MISSING = object()
 
 
@@ -85,11 +91,29 @@ class CacheCounter:
 
 @dataclass(frozen=True, slots=True)
 class CacheStats:
-    """A point-in-time snapshot of all three engine caches."""
+    """A point-in-time snapshot of all three engine caches.
+
+    ``snapshot_incremental`` / ``snapshot_full`` split snapshot-key
+    resolutions by how the active-set fingerprint was derived: evolved
+    from a per-licensee cursor via a :class:`~repro.uls.index
+    .TemporalDelta` (incremental) versus computed from scratch (full —
+    first touch of a licensee, a stale cursor after a database mutation,
+    or ``incremental=False``).  ``index_events`` is the temporal index's
+    event count over the engine's database.
+    """
 
     snapshot: CacheCounter
     route: CacheCounter
     geodesic: CacheCounter
+    snapshot_incremental: int = 0
+    snapshot_full: int = 0
+    index_events: int = 0
+
+    @property
+    def incremental_share(self) -> float:
+        """Fraction of snapshot-key resolutions served incrementally."""
+        total = self.snapshot_incremental + self.snapshot_full
+        return self.snapshot_incremental / total if total else 0.0
 
     def describe(self) -> str:
         """A short human-readable summary (the CLI's ``--cache-stats``)."""
@@ -104,6 +128,12 @@ class CacheStats:
                 f"evictions={counter.evictions}  entries={counter.size}  "
                 f"hit-rate={counter.hit_rate:.1%}"
             )
+        lines.append(
+            f"  snapshot resolutions: incremental={self.snapshot_incremental}  "
+            f"full={self.snapshot_full}  "
+            f"incremental-share={self.incremental_share:.1%}"
+        )
+        lines.append(f"  temporal index: events={self.index_events}")
         return "\n".join(lines)
 
 
@@ -187,6 +217,11 @@ class EngineCacheExport:
     snapshots: tuple[tuple[Hashable, HftNetwork], ...]
     routes: tuple[tuple[Hashable, Route | None], ...]
     geodesic: tuple[tuple[tuple, tuple], ...]
+    #: Per-licensee snapshot cursors ((licensee, date, key, generation)),
+    #: sorted by licensee — workers adopt them so their first touch of a
+    #: cursored licensee evolves incrementally, exactly as the parent
+    #: would have.
+    cursors: tuple[tuple[str, dt.date, tuple, int], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -215,6 +250,27 @@ class EngineCacheDelta:
     routes: tuple[tuple[Hashable, Route | None], ...]
     geodesic: tuple[tuple[tuple, tuple], ...]
     stats: CacheStats
+    #: The worker's snapshot cursors at collection time (same shape as
+    #: :attr:`EngineCacheExport.cursors`); the parent adopts them so its
+    #: next request for those licensees evolves incrementally.
+    cursors: tuple[tuple[str, dt.date, tuple, int], ...] = ()
+
+
+class _SnapshotCursor:
+    """Per-licensee incremental-evolution state.
+
+    Remembers the last resolved ``(date, snapshot key)`` for a licensee
+    and the database generation it was derived under; the next request
+    for that licensee consults ``TemporalIndex.diff`` from here instead
+    of recomputing the fingerprint from scratch.
+    """
+
+    __slots__ = ("date", "key", "generation")
+
+    def __init__(self, date: dt.date, key: tuple, generation: int) -> None:
+        self.date = date
+        self.key = key
+        self.generation = generation
 
 
 class CorridorEngine:
@@ -238,6 +294,13 @@ class CorridorEngine:
         entries.
     snapshot_cache_size / route_cache_size / geodesic_memo_size:
         Bounds on the three caches (LRU eviction).
+    incremental:
+        Whether snapshot keys evolve incrementally from per-licensee
+        cursors via the database's :class:`~repro.uls.index
+        .TemporalIndex` (the default; ``None`` defers to the
+        process-wide :data:`INCREMENTAL_DEFAULT`).  ``False`` replays
+        the pre-index behaviour — a linear active-set scan per request —
+        and is only useful for equivalence gates and benchmarks.
     """
 
     def __init__(
@@ -253,6 +316,7 @@ class CorridorEngine:
         snapshot_cache_size: int = DEFAULT_SNAPSHOT_CACHE_SIZE,
         route_cache_size: int = DEFAULT_ROUTE_CACHE_SIZE,
         geodesic_memo_size: int = DEFAULT_MEMO_SIZE,
+        incremental: bool | None = None,
     ) -> None:
         params_given = any(
             value is not None
@@ -291,9 +355,16 @@ class CorridorEngine:
         self.database = database
         self.reconstructor = reconstructor
         self.corridor = reconstructor.corridor
+        self.incremental = (
+            INCREMENTAL_DEFAULT if incremental is None else bool(incremental)
+        )
         self._snapshots = _LruCache(snapshot_cache_size)
         self._routes = _LruCache(route_cache_size)
         self._geodesic_memo = GeodesicMemo(geodesic_memo_size)
+        self._cursors: dict[str, _SnapshotCursor] = {}
+        self._incremental_resolutions = 0
+        self._full_resolutions = 0
+        self._delta_ids_total = 0
 
     # ------------------------------------------------------------------
     # Cache keys
@@ -321,7 +392,21 @@ class CorridorEngine:
         This is the invariant the snapshot cache exploits: the stitched
         network is a pure function of (active license set, parameters), so
         any two dates with equal fingerprints share a snapshot.
+
+        Incremental engines derive the set from the database's
+        :class:`~repro.uls.index.TemporalIndex` (O(log n) warm, and the
+        *same* frozenset object per constant-active-set interval, so key
+        hashing stays cheap); full-rebuild engines scan the license list,
+        exactly as before the index existed.
         """
+        if self.incremental:
+            return self.database.temporal_index(licensee).active_ids_at(on_date)
+        return self._scan_fingerprint(licensee, on_date)
+
+    def _scan_fingerprint(
+        self, licensee: str, on_date: dt.date
+    ) -> frozenset[str]:
+        """The pre-index fingerprint path: one ``is_active`` per filing."""
         return frozenset(
             lic.license_id
             for lic in self.database.licenses_for(licensee)
@@ -329,12 +414,60 @@ class CorridorEngine:
         )
 
     def snapshot_key(self, licensee: str, on_date: dt.date) -> tuple:
-        """The snapshot-cache key for (licensee, date) under this engine."""
+        """The snapshot-cache key for (licensee, date) under this engine.
+
+        Pure (no counters moved, no cursor state touched) — the counting
+        resolution path every query runs through is :meth:`_resolve_key`.
+        """
         return (
             licensee,
             self.active_fingerprint(licensee, on_date),
             self.params_key,
         )
+
+    def _resolve_key(
+        self, licensee: str, on_date: dt.date
+    ) -> tuple[tuple, str, int]:
+        """Resolve a snapshot key, evolving the licensee's cursor.
+
+        Returns ``(key, resolution, delta_size)`` where ``resolution`` is
+        ``"incremental"`` (derived from an existing cursor via
+        ``TemporalIndex.diff``) or ``"full"`` (computed from scratch:
+        first touch, stale cursor generation, or ``incremental=False``).
+        An empty delta reuses the cursor's key outright — the exact same
+        tuple object, fingerprint untouched — so consecutive grid dates
+        with no license events cost a bisect and nothing else.
+        """
+        if not self.incremental:
+            self._full_resolutions += 1
+            obs.count("engine.snapshot.full")
+            key = (licensee, self._scan_fingerprint(licensee, on_date), self.params_key)
+            return key, "full", 0
+        generation = self.database.generation
+        cursor = self._cursors.get(licensee)
+        if cursor is not None and cursor.generation == generation:
+            delta_size = 0
+            if cursor.date != on_date:
+                index = self.database.temporal_index(licensee)
+                delta = index.diff(cursor.date, on_date)
+                if delta:
+                    delta_size = delta.size
+                    self._delta_ids_total += delta_size
+                    cursor.key = (
+                        licensee,
+                        index.active_ids_at(on_date),
+                        self.params_key,
+                    )
+                cursor.date = on_date
+            self._incremental_resolutions += 1
+            obs.count("engine.snapshot.incremental")
+            return cursor.key, "incremental", delta_size
+        fingerprint = self.database.temporal_index(licensee).active_ids_at(on_date)
+        key = (licensee, fingerprint, self.params_key)
+        self._cursors[licensee] = _SnapshotCursor(on_date, key, generation)
+        self._full_resolutions += 1
+        obs.count("engine.snapshot.full")
+        return key, "full", 0
 
     # ------------------------------------------------------------------
     # Queries
@@ -347,13 +480,19 @@ class CorridorEngine:
         returned network always carries the requested ``as_of`` date, even
         when its topology was stitched for an earlier query.
         """
-        with obs.span("engine.snapshot", licensee=licensee):
-            network = self._snapshot_cached(licensee, on_date)
+        with obs.span("engine.snapshot", licensee=licensee) as span:
+            key, resolution, delta_size = self._resolve_key(licensee, on_date)
+            span.tag(resolution=resolution, delta_ids=delta_size)
+            network = self._snapshot_for_key(key, licensee, on_date)
         return network.with_as_of(on_date)
 
-    def _snapshot_cached(self, licensee: str, on_date: dt.date) -> HftNetwork:
-        """The cached network instance (``as_of`` = first query's date)."""
-        key = self.snapshot_key(licensee, on_date)
+    def _snapshot_for_key(
+        self, key: tuple, licensee: str, on_date: dt.date
+    ) -> HftNetwork:
+        """The cached network for a resolved key (``as_of`` = first query's
+        date).  The lookup always runs — even when an empty delta proved
+        the key unchanged — so hit/miss accounting and LRU order are
+        exactly what a full-rebuild engine would produce."""
         network = self._snapshots.get(key)
         if network is None:
             obs.count("engine.snapshot.miss")
@@ -438,9 +577,11 @@ class CorridorEngine:
         """The lowest-latency ``source``→``target`` route, or None.
 
         Routes are cached per snapshot (so per active-set fingerprint, not
-        per date) and per endpoint pair.
+        per date) and per endpoint pair.  The snapshot key is resolved
+        once — incrementally when the licensee has a cursor — and shared
+        between the route lookup and any snapshot rebuild.
         """
-        snapshot_key = self.snapshot_key(licensee, on_date)
+        snapshot_key, _, _ = self._resolve_key(licensee, on_date)
         key = (snapshot_key, source, target)
         route = self._routes.get(key, _MISSING)
         if route is _MISSING:
@@ -448,7 +589,7 @@ class CorridorEngine:
             with obs.span(
                 "engine.route", licensee=licensee, source=source, target=target
             ):
-                network = self._snapshot_cached(licensee, on_date)
+                network = self._snapshot_for_key(snapshot_key, licensee, on_date)
                 route = network.lowest_latency_route(source, target)
             self._routes.put(key, route)
         else:
@@ -493,18 +634,30 @@ class CorridorEngine:
     ) -> list[TimelinePoint]:
         """The Fig 1 series: one licensee's route latency over a date grid.
 
-        Consecutive dates whose active license set is unchanged hit the
-        snapshot *and* route caches — the dominant case on a fine grid.
+        The grid is walked in order as successive deltas: each date's
+        snapshot key evolves from the previous one via the temporal
+        index, so dates with no license events between them cost a
+        bisect, a route-cache hit and nothing else.  The span records
+        how the grid resolved (incremental vs full) and the total number
+        of license ids that changed state across it.
         """
-        points = []
         with obs.span(
             "engine.timeline",
             licensee=licensee,
             points=len(dates),
             source=source,
             target=target,
-        ):
-            return self._timeline_points(licensee, dates, source, target)
+        ) as span:
+            incremental_before = self._incremental_resolutions
+            full_before = self._full_resolutions
+            delta_before = self._delta_ids_total
+            points = self._timeline_points(licensee, dates, source, target)
+            span.tag(
+                incremental=self._incremental_resolutions - incremental_before,
+                full=self._full_resolutions - full_before,
+                delta_ids=self._delta_ids_total - delta_before,
+            )
+            return points
 
     def _timeline_points(
         self,
@@ -545,10 +698,14 @@ class CorridorEngine:
                 evictions=memo.evictions,
                 size=len(memo),
             ),
+            snapshot_incremental=self._incremental_resolutions,
+            snapshot_full=self._full_resolutions,
+            index_events=self.database.temporal_index().event_count,
         )
 
     def clear_caches(self) -> None:
-        """Drop all cached snapshots, routes and geodesic solutions.
+        """Drop all cached snapshots, routes, geodesic solutions and
+        snapshot cursors.
 
         Counters are preserved (they describe lifetime behaviour); sizes
         return to zero.
@@ -556,6 +713,7 @@ class CorridorEngine:
         self._snapshots.clear()
         self._routes.clear()
         self._geodesic_memo.clear()
+        self._cursors.clear()
 
     # ------------------------------------------------------------------
     # Cache transplanting (the repro.parallel merge-back protocol)
@@ -578,7 +736,28 @@ class CorridorEngine:
             snapshots=() if geodesic_only else self._snapshots.items(),
             routes=() if geodesic_only else self._routes.items(),
             geodesic=memo.entries(),
+            cursors=() if geodesic_only else self._export_cursors(),
         )
+
+    def _export_cursors(self) -> tuple[tuple[str, dt.date, tuple, int], ...]:
+        """Picklable cursor state, sorted by licensee for determinism."""
+        return tuple(
+            (licensee, cursor.date, cursor.key, cursor.generation)
+            for licensee, cursor in sorted(self._cursors.items())
+        )
+
+    def _install_cursors(
+        self, cursors: tuple[tuple[str, dt.date, tuple, int], ...]
+    ) -> None:
+        """Adopt exported cursors (no counters move — not a resolution).
+
+        Cursors from a different database generation are ignored: their
+        fingerprints may predate a mutation this engine has seen.
+        """
+        generation = self.database.generation
+        for licensee, date, key, cursor_generation in cursors:
+            if cursor_generation == generation:
+                self._cursors[licensee] = _SnapshotCursor(date, key, generation)
 
     def seed_cache_state(
         self, export: EngineCacheExport, geodesic_only: bool = False
@@ -604,6 +783,7 @@ class CorridorEngine:
             self._snapshots.put(key, network)
         for key, route in export.routes:
             self._routes.put(key, route)
+        self._install_cursors(export.cursors)
 
     def cache_baseline(self) -> EngineCacheBaseline:
         """A point-in-time marker for :meth:`collect_cache_delta`."""
@@ -640,7 +820,14 @@ class CorridorEngine:
                 snapshot=_counter_delta(now.snapshot, baseline.stats.snapshot),
                 route=_counter_delta(now.route, baseline.stats.route),
                 geodesic=_counter_delta(now.geodesic, baseline.stats.geodesic),
+                snapshot_incremental=(
+                    now.snapshot_incremental
+                    - baseline.stats.snapshot_incremental
+                ),
+                snapshot_full=now.snapshot_full - baseline.stats.snapshot_full,
+                index_events=now.index_events,
             ),
+            cursors=self._export_cursors(),
         )
 
     def absorb_cache_delta(self, delta: EngineCacheDelta) -> None:
@@ -672,6 +859,9 @@ class CorridorEngine:
             cache.hits += counter.hits
             cache.misses += counter.misses
             cache.evictions += counter.evictions
+        self._incremental_resolutions += delta.stats.snapshot_incremental
+        self._full_resolutions += delta.stats.snapshot_full
+        self._install_cursors(delta.cursors)
 
     def with_params(self, **overrides) -> "CorridorEngine":
         """A fresh engine sharing this database with parameter overrides.
@@ -699,6 +889,7 @@ class CorridorEngine:
             snapshot_cache_size=self._snapshots.maxsize,
             route_cache_size=self._routes.maxsize,
             geodesic_memo_size=self._geodesic_memo.maxsize,
+            incremental=self.incremental,
             **base,
         )
 

@@ -47,6 +47,14 @@ DEFAULT_CACHE_ALLOWED = (
     "src/repro/core/reconstruction.py",
 )
 
+#: Path prefixes allowed to call ``UlsDatabase.active_on`` (a linear scan
+#: that materialises the license list); everything else resolves active
+#: sets through the temporal index or the engine.
+DEFAULT_ACTIVE_ON_ALLOWED = (
+    "src/repro/uls/",
+    "src/repro/core/engine.py",
+)
+
 #: Unit-suffix vocabulary: suffixes within one group share a dimension and
 #: must not be mixed in a single additive expression or comparison.
 DEFAULT_UNIT_GROUPS = (
@@ -99,6 +107,10 @@ class LintConfig:
     def cache_allowed_files(self) -> tuple[str, ...]:
         allowed = self.options_for("cache-discipline").get("allowed")
         return tuple(allowed) if allowed is not None else DEFAULT_CACHE_ALLOWED
+
+    def active_on_allowed_paths(self) -> tuple[str, ...]:
+        allowed = self.options_for("cache-discipline").get("active_on_allowed")
+        return tuple(allowed) if allowed is not None else DEFAULT_ACTIVE_ON_ALLOWED
 
     def unit_groups(self) -> tuple[tuple[str, ...], ...]:
         groups = self.options_for("unit-suffix").get("groups")

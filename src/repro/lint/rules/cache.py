@@ -21,30 +21,59 @@ from repro.lint.registry import FileContext, Rule, call_name, register
 #: Callables that bypass the engine's caches.
 _KERNEL_CALLS = frozenset({"NetworkReconstructor", "reconstruct_all"})
 
+#: Linear-scan active-set lookups (confined to the index's own home).
+_SCAN_CALLS = frozenset({"active_on"})
+
+
+def _prefix_allowed(rel_path: str, prefixes: tuple[str, ...]) -> bool:
+    return any(
+        rel_path == prefix or rel_path.startswith(prefix)
+        for prefix in prefixes
+    )
+
 
 @register
 class CacheDisciplineRule(Rule):
-    """Kernel construction is confined to the engine and kernel modules."""
+    """Kernel construction is confined to the engine and kernel modules,
+    and linear active-set scans to the uls layer and the engine."""
 
     name = "cache-discipline"
     description = (
         "NetworkReconstructor(...)/reconstruct_all(...) outside the engine "
-        "and kernel modules bypasses the snapshot/route caches; use "
-        "CorridorEngine or Scenario.engine()"
+        "and kernel modules bypasses the snapshot/route caches (use "
+        "CorridorEngine or Scenario.engine()); active_on(...) outside the "
+        "uls layer and the engine rescans every license (use "
+        "UlsDatabase.temporal_index())"
     )
     interests = (ast.Call,)
 
     def applies_to(self, rel_path: str, config: LintConfig) -> bool:
-        return rel_path not in config.cache_allowed_files()
+        return rel_path not in config.cache_allowed_files() or not _prefix_allowed(
+            rel_path, config.active_on_allowed_paths()
+        )
 
     def visit(self, node: ast.AST, ctx: FileContext) -> None:
         assert isinstance(node, ast.Call)
         name = call_name(node)
-        if name in _KERNEL_CALLS:
+        if (
+            name in _KERNEL_CALLS
+            and ctx.rel_path not in ctx.config.cache_allowed_files()
+        ):
             ctx.report(
                 self,
                 node,
                 f"{name}(...) bypasses the CorridorEngine caches; "
                 "go through CorridorEngine / Scenario.engine() "
                 "(allowed only in the engine and kernel modules)",
+            )
+        elif name in _SCAN_CALLS and not _prefix_allowed(
+            ctx.rel_path, ctx.config.active_on_allowed_paths()
+        ):
+            ctx.report(
+                self,
+                node,
+                "active_on(...) linear-scans and materialises the license "
+                "list; resolve active sets via "
+                "UlsDatabase.temporal_index().active_ids_at(...) "
+                "(allowed only under src/repro/uls/ and the engine)",
             )

@@ -28,7 +28,11 @@ bookkeeping once:
   :class:`~repro.core.engine.EngineCacheDelta` per engine they touched;
   the parent absorbs each into the matching engine (parent or pooled
   sibling) in chunk order, so a parallel run leaves the same warm cache
-  state — and byte-identical artefacts — a serial run would.
+  state — and byte-identical artefacts — a serial run would.  Deltas
+  (and the seed exports going the other way) carry temporal-index
+  cursor state too: a worker handed a contiguous span of a date grid
+  starts from the parent's snapshot cursors and evolves incrementally
+  within its span, and the cursors it ends on come home with its delta.
 
 Task functions are module-level callables ``fn(ctx, item)`` (picklable by
 reference for the process backend); ``ctx`` is a :class:`GridTaskContext`
@@ -71,6 +75,9 @@ def _engine_cache_sizes(engine: CorridorEngine) -> dict:
         "snapshot_cache_size": engine._snapshots.maxsize,
         "route_cache_size": engine._routes.maxsize,
         "geodesic_memo_size": engine._geodesic_memo.maxsize,
+        # Workers must resolve snapshot keys the same way the parent
+        # does, or merged-back counters would disagree with a serial run.
+        "incremental": engine.incremental,
     }
 
 
@@ -83,6 +90,8 @@ def _delta_is_empty(delta: EngineCacheDelta) -> bool:
         or stats.snapshot.lookups
         or stats.route.lookups
         or stats.geodesic.lookups
+        or stats.snapshot_incremental
+        or stats.snapshot_full
     )
 
 

@@ -7,6 +7,8 @@ in-process equivalent:
 * :mod:`repro.uls.records` — the license data model (licenses, tower
   locations, microwave paths, frequencies, life-cycle dates);
 * :mod:`repro.uls.database` — an indexed in-memory license store;
+* :mod:`repro.uls.index` — the temporal event index: O(log n) active-set
+  lookups and ``diff(d1, d2)`` deltas over license life-cycle dates;
 * :mod:`repro.uls.search` — the four search interfaces the paper uses
   (geographic, site-based, licensee-name, license-detail);
 * :mod:`repro.uls.dumpio` — reader/writer for the pipe-delimited ULS
@@ -27,6 +29,7 @@ from repro.uls.records import (
     active_licenses,
 )
 from repro.uls.database import UlsDatabase
+from repro.uls.index import TemporalDelta, TemporalIndex, license_interval
 from repro.uls.search import UlsSearchService
 from repro.uls.dumpio import read_uls_dump, write_uls_dump
 from repro.uls.portal import UlsPortal
@@ -45,6 +48,9 @@ __all__ = [
     "TowerLocation",
     "active_licenses",
     "UlsDatabase",
+    "TemporalDelta",
+    "TemporalIndex",
+    "license_interval",
     "UlsSearchService",
     "read_uls_dump",
     "write_uls_dump",

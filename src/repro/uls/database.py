@@ -13,6 +13,7 @@ import math
 from typing import Iterable, Iterator
 
 from repro.geodesy import GeoPoint, geodesic_distance
+from repro.uls.index import TemporalIndex
 from repro.uls.records import License
 
 #: Spatial-grid cell size in degrees (~55 km of latitude).  Radius searches
@@ -37,6 +38,13 @@ class UlsDatabase:
         self._by_callsign: dict[str, License] = {}
         self._by_licensee: dict[str, list[License]] = {}
         self._grid: dict[tuple[int, int], list[tuple[GeoPoint, str]]] = {}
+        #: Bumped on every mutation; temporal-index consumers (the
+        #: engine's snapshot cursors) compare generations to detect
+        #: stale evolution state.
+        self._generation: int = 0
+        #: Lazily-built temporal indices: None = database-wide, a
+        #: licensee name = that licensee's filings only.
+        self._temporal_indices: dict[str | None, TemporalIndex] = {}
         for lic in licenses:
             self.add(lic)
 
@@ -57,6 +65,8 @@ class UlsDatabase:
         for location in lic.locations.values():
             cell = self._cell(location.point)
             self._grid.setdefault(cell, []).append((location.point, lic.license_id))
+        self._generation += 1
+        self._temporal_indices.clear()
 
     def extend(self, licenses: Iterable[License]) -> None:
         for lic in licenses:
@@ -117,8 +127,46 @@ class UlsDatabase:
         return [self._by_id[license_id] for license_id in sorted(hits)]
 
     def active_on(self, on_date: dt.date) -> list[License]:
-        """All licenses active on ``on_date``."""
-        return [lic for lic in self._by_id.values() if lic.is_active(on_date)]
+        """All licenses active on ``on_date``, in filing (insertion) order.
+
+        Served from the :class:`~repro.uls.index.TemporalIndex`: a bisect
+        plus a memoised interval set instead of a per-license date scan.
+        """
+        active = self.temporal_index().active_ids_at(on_date)
+        return [lic for lic in self._by_id.values() if lic.license_id in active]
+
+    # ------------------------------------------------------------------
+    # Temporal index
+    # ------------------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Mutation counter: changes whenever a license is added."""
+        return self._generation
+
+    def temporal_index(self, licensee: str | None = None) -> TemporalIndex:
+        """The (cached) event index over the whole database or one licensee.
+
+        Indices are invalidated whenever a license is added; callers that
+        cache derived state across mutations should also remember
+        :attr:`generation` and rebuild when it moves.
+        """
+        index = self._temporal_indices.get(licensee)
+        if index is None:
+            licenses = (
+                self._by_id.values()
+                if licensee is None
+                else self._by_licensee.get(licensee, ())
+            )
+            index = TemporalIndex(licenses)
+            self._temporal_indices[licensee] = index
+        return index
+
+    def __getstate__(self) -> dict:
+        """Pickle without the index cache (workers rebuild lazily)."""
+        state = self.__dict__.copy()
+        state["_temporal_indices"] = {}
+        return state
 
     # ------------------------------------------------------------------
     # Spatial grid internals

@@ -69,11 +69,18 @@ class UlsSearchService:
         """Licenses with an endpoint within ``radius_m`` of ``center``.
 
         ``active_on`` optionally restricts to licenses active on that date
-        (the portal's "active licenses" checkbox).
+        (the portal's "active licenses" checkbox).  The active-set filter
+        is a membership test against the database's temporal index — one
+        bisect for the whole search instead of a date comparison per hit.
         """
+        active_ids = (
+            self._db.temporal_index().active_ids_at(active_on)
+            if active_on is not None
+            else None
+        )
         rows = []
         for lic in self._db.licenses_within(center, radius_m):
-            if active_on is not None and not lic.is_active(active_on):
+            if active_ids is not None and lic.license_id not in active_ids:
                 continue
             rows.append(_row(lic))
         return rows

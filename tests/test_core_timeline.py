@@ -8,6 +8,7 @@ import pytest
 
 from repro.core.timeline import (
     active_license_count,
+    dense_date_grid,
     grant_cancellation_activity,
     latency_timeline,
     license_count_timeline,
@@ -28,6 +29,40 @@ class TestDateGrid:
         assert dates[-2] == dt.date(2019, 1, 1)
         assert dates[-1] == dt.date(2020, 4, 1)
         assert len(dates) == 8
+
+    def test_dense_grid_paper_step_is_yearly(self):
+        assert dense_date_grid("paper") == yearly_snapshot_dates()
+
+    def test_dense_grid_monthly(self):
+        dates = dense_date_grid("monthly")
+        assert dates[0] == dt.date(2013, 1, 1)
+        assert dates[-1] == dt.date(2020, 4, 1)
+        assert len(dates) == 88  # 12 * 7 years + Jan..Apr 2020
+        assert all(d.day == 1 for d in dates)
+        assert dates == sorted(dates)
+
+    def test_dense_grid_weekly(self):
+        dates = dense_date_grid(
+            "weekly", start=dt.date(2019, 1, 1), end=dt.date(2019, 2, 1)
+        )
+        assert dates == [
+            dt.date(2019, 1, 1) + dt.timedelta(days=7 * i) for i in range(5)
+        ]
+
+    def test_dense_grid_custom_bounds(self):
+        dates = dense_date_grid(
+            "monthly", start=dt.date(2018, 3, 1), end=dt.date(2018, 6, 15)
+        )
+        assert dates == [
+            dt.date(2018, 3, 1),
+            dt.date(2018, 4, 1),
+            dt.date(2018, 5, 1),
+            dt.date(2018, 6, 1),
+        ]
+
+    def test_dense_grid_unknown_step_raises(self):
+        with pytest.raises(ValueError):
+            dense_date_grid("daily")
 
     def test_custom_range(self):
         dates = yearly_snapshot_dates(2015, 2016, final_date=dt.date(2017, 6, 1))

@@ -184,6 +184,80 @@ class TestCacheDiscipline:
         ) == []
 
 
+class TestActiveOnDiscipline:
+    """active_on(...) is confined to the uls layer and the engine."""
+
+    OPTIONS = {
+        "cache-discipline": {
+            "allowed": ["allowed/engine.py"],
+            "active_on_allowed": ["src/repro/uls/", "src/repro/core/engine.py"],
+        }
+    }
+
+    def test_active_on_flagged_outside_allowed(self, tmp_path):
+        source = """
+            def count(db, date):
+                return len(db.active_on(date))
+        """
+        findings = findings_for(
+            tmp_path, source, name="src/repro/analysis/driver.py",
+            rules=("cache-discipline",), rule_options=self.OPTIONS,
+        )
+        assert rule_names(findings) == ["cache-discipline"]
+        assert "temporal_index" in findings[0].message
+
+    def test_active_on_allowed_under_uls(self, tmp_path):
+        source = """
+            def count(db, date):
+                return len(db.active_on(date))
+        """
+        assert findings_for(
+            tmp_path, source, name="src/repro/uls/database.py",
+            rules=("cache-discipline",), rule_options=self.OPTIONS,
+        ) == []
+
+    def test_active_on_allowed_in_engine(self, tmp_path):
+        source = """
+            def fingerprint(db, date):
+                return frozenset(l.license_id for l in db.active_on(date))
+        """
+        assert findings_for(
+            tmp_path, source, name="src/repro/core/engine.py",
+            rules=("cache-discipline",), rule_options=self.OPTIONS,
+        ) == []
+
+    def test_attribute_reference_without_call_ok(self, tmp_path):
+        source = """
+            def probe(db):
+                return db.active_on  # bound method, not a scan
+        """
+        assert findings_for(
+            tmp_path, source, name="src/repro/analysis/driver.py",
+            rules=("cache-discipline",), rule_options=self.OPTIONS,
+        ) == []
+
+    def test_temporal_index_lookup_ok(self, tmp_path):
+        source = """
+            def count(db, date):
+                return db.temporal_index().active_count_at(date)
+        """
+        assert findings_for(
+            tmp_path, source, name="src/repro/analysis/driver.py",
+            rules=("cache-discipline",), rule_options=self.OPTIONS,
+        ) == []
+
+    def test_default_prefixes_apply_without_options(self, tmp_path):
+        source = """
+            def count(db, date):
+                return len(db.active_on(date))
+        """
+        findings = findings_for(
+            tmp_path, source, name="src/repro/metrics/thing.py",
+            rules=("cache-discipline",),
+        )
+        assert rule_names(findings) == ["cache-discipline"]
+
+
 class TestFloatEq:
     OPTIONS = {"float-eq": {"paths": ["numeric/"]}}
 
