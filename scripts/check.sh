@@ -41,6 +41,20 @@ for cmd in funnel timeline table1; do
     fi
 done
 
+# Kernel-equivalence gate: the columnar flat-array kernel must be
+# byte-identical to the object kernel in every driver output, serial and
+# fanned out (workers rebuild their own stores, so the fan-out exercises
+# the rebuild-not-pickle protocol too).
+for cmd in funnel timeline table1; do
+    for jobs in 1 4; do
+        if ! diff <(python -m repro "$cmd" --jobs "$jobs" --kernel columnar) \
+                  <(python -m repro "$cmd" --jobs "$jobs" --kernel object); then
+            echo "check.sh: '$cmd' --jobs $jobs differs between --kernel columnar and --kernel object" >&2
+            exit 1
+        fi
+    done
+done
+
 # Incremental-evolution gate: cursor-based snapshot resolution must be
 # invisible in the output.  timeline (Fig 1 + Fig 2) is diffed against
 # its --no-incremental (full fingerprint rescan) twin on both the paper

@@ -449,6 +449,13 @@ def _obs_parent_parser() -> argparse.ArgumentParser:
         "scan per date, the pre-index behaviour; output is byte-"
         "identical either way)",
     )
+    execution.add_argument(
+        "--kernel", choices=("columnar", "object"), default=None,
+        metavar="{columnar,object}",
+        help="cold-reconstruction kernel: 'columnar' (flat array-backed "
+        "license store, the default) or 'object' (per-object stitching); "
+        "output is byte-identical either way",
+    )
     return parent
 
 
@@ -583,6 +590,13 @@ def main(argv: list[str] | None = None) -> int:
         from repro.core import engine as engine_mod
 
         engine_mod.INCREMENTAL_DEFAULT = False
+    if getattr(args, "kernel", None):
+        # Same pre-construction window as --no-incremental: engines pin
+        # their kernel at build time and workers inherit it through the
+        # parallel cache-transplant protocol.
+        from repro.core import engine as engine_mod
+
+        engine_mod.KERNEL_DEFAULT = args.kernel
     trace_path = getattr(args, "trace", None)
     want_metrics = getattr(args, "metrics", False)
     trace_sink = None

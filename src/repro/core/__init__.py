@@ -20,6 +20,7 @@ across repeated queries (the underlying cache-free kernel,
     print(engine.stats.describe())
 """
 
+from repro.core.columnar import reconstruct_columnar
 from repro.core.engine import CacheStats, CorridorEngine
 from repro.core.latency import LatencyModel
 from repro.core.network import (
@@ -56,6 +57,7 @@ __all__ = [
     "CorridorSpec",
     "NetworkReconstructor",
     "reconstruct_all",
+    "reconstruct_columnar",
     "edges_within_latency_bound",
     "enumerate_paths_within_bound",
     "LicenseCountSeries",

@@ -44,12 +44,14 @@ from dataclasses import dataclass
 from typing import Hashable, Iterable, Sequence
 
 from repro import obs
+from repro.core.columnar import reconstruct_columnar
 from repro.core.corridor import CorridorSpec
 from repro.core.latency import LatencyModel
 from repro.core.network import HftNetwork, Route
 from repro.core.reconstruction import NetworkReconstructor
 from repro.core.timeline import TimelinePoint
 from repro.geodesy.memo import DEFAULT_MEMO_SIZE, GeodesicMemo, use_memo
+from repro.uls.columnar import ColumnarLicenseStore
 from repro.uls.database import UlsDatabase
 from repro.uls.records import License
 
@@ -66,6 +68,19 @@ DEFAULT_ROUTE_CACHE_SIZE = 4096
 #: pre-index behaviour (a full fingerprint scan per request) for the
 #: byte-identity diff gates and honest benchmarking.
 INCREMENTAL_DEFAULT = True
+
+#: Process-wide default for :class:`CorridorEngine`'s ``kernel``
+#: selection.  ``"columnar"`` runs cold reconstructions through the
+#: flat-column kernel (:func:`repro.core.columnar.reconstruct_columnar`
+#: over the database's :class:`~repro.uls.columnar.ColumnarLicenseStore`);
+#: ``"object"`` replays the per-object :class:`NetworkReconstructor`
+#: path.  Outputs are byte-identical (diff-gated in ``scripts/check.sh``),
+#: so the kernel deliberately does **not** participate in cache keys —
+#: snapshots built by either kernel are interchangeable.  The CLI's
+#: ``--kernel`` flips this before any engine is built.
+KERNEL_DEFAULT = "columnar"
+
+_KERNELS = ("columnar", "object")
 
 _MISSING = object()
 
@@ -301,6 +316,14 @@ class CorridorEngine:
         process-wide :data:`INCREMENTAL_DEFAULT`).  ``False`` replays
         the pre-index behaviour — a linear active-set scan per request —
         and is only useful for equivalence gates and benchmarks.
+    kernel:
+        ``"columnar"`` (cold reconstructions run over the database's
+        flat :class:`~repro.uls.columnar.ColumnarLicenseStore`) or
+        ``"object"`` (the per-object :class:`NetworkReconstructor`
+        path).  ``None`` defers to the process-wide
+        :data:`KERNEL_DEFAULT`.  Both kernels produce byte-identical
+        networks, so the choice affects cold-path speed only and is not
+        part of any cache key.
     """
 
     def __init__(
@@ -317,6 +340,7 @@ class CorridorEngine:
         route_cache_size: int = DEFAULT_ROUTE_CACHE_SIZE,
         geodesic_memo_size: int = DEFAULT_MEMO_SIZE,
         incremental: bool | None = None,
+        kernel: str | None = None,
     ) -> None:
         params_given = any(
             value is not None
@@ -352,9 +376,16 @@ class CorridorEngine:
                 kwargs["fiber_mode"] = fiber_mode
             reconstructor = NetworkReconstructor(corridor, **kwargs)
 
+        kernel = KERNEL_DEFAULT if kernel is None else kernel
+        if kernel not in _KERNELS:
+            raise ValueError(
+                f"unknown reconstruction kernel: {kernel!r} "
+                f"(expected one of {_KERNELS})"
+            )
         self.database = database
         self.reconstructor = reconstructor
         self.corridor = reconstructor.corridor
+        self.kernel = kernel
         self.incremental = (
             INCREMENTAL_DEFAULT if incremental is None else bool(incremental)
         )
@@ -406,7 +437,15 @@ class CorridorEngine:
     def _scan_fingerprint(
         self, licensee: str, on_date: dt.date
     ) -> frozenset[str]:
-        """The pre-index fingerprint path: one ``is_active`` per filing."""
+        """The pre-index fingerprint path: one activity test per filing.
+
+        The columnar kernel scans the store's integer activity-interval
+        columns; the object kernel runs ``License.is_active`` per filing.
+        Both produce the identical frozenset (``license_interval`` mirrors
+        ``is_active`` exactly).
+        """
+        if self.kernel == "columnar":
+            return self.database.columnar_store().active_ids(licensee, on_date)
         return frozenset(
             lic.license_id
             for lic in self.database.licenses_for(licensee)
@@ -497,15 +536,38 @@ class CorridorEngine:
         if network is None:
             obs.count("engine.snapshot.miss")
             network = self._reconstruct_memoised(
-                lambda: self.reconstructor.reconstruct_licensee(
-                    self.database, licensee, on_date
-                ),
-                licensee,
+                self._cold_build(licensee, on_date), licensee
             )
             self._snapshots.put(key, network)
         else:
             obs.count("engine.snapshot.hit")
         return network
+
+    def _cold_build(self, licensee: str, on_date: dt.date):
+        """The kernel-selected cold-reconstruction thunk for one snapshot.
+
+        For the columnar kernel the license store is fetched (and, on
+        generation change, rebuilt) *before* the memoised window opens:
+        store construction is a per-generation cost with its own
+        ``kernel.columnar.store.build`` span, not part of any single
+        snapshot's build time.
+        """
+        if self.kernel == "columnar":
+            store = self.database.columnar_store()
+            recon = self.reconstructor
+            return lambda: reconstruct_columnar(
+                store,
+                licensee,
+                on_date,
+                corridor=self.corridor,
+                latency_model=recon.latency_model,
+                stitch_tolerance_m=recon.stitch_tolerance_m,
+                max_fiber_tail_m=recon.max_fiber_tail_m,
+                fiber_mode=recon.fiber_mode,
+            )
+        return lambda: self.reconstructor.reconstruct_licensee(
+            self.database, licensee, on_date
+        )
 
     def _reconstruct_memoised(self, build, licensee: str) -> HftNetwork:
         """Run one reconstruction under the engine's geodesic memo.
@@ -560,12 +622,33 @@ class CorridorEngine:
             network = self._snapshots.get(key)
             if network is None:
                 obs.count("engine.snapshot.miss")
-                network = self._reconstruct_memoised(
-                    lambda: self.reconstructor.reconstruct(
-                        license_list, on_date, licensee=licensee
-                    ),
-                    licensee,
-                )
+                if self.kernel == "columnar":
+                    # An ephemeral store over just these records (they are
+                    # not the engine database's rows), built outside the
+                    # memoised window like the per-generation store.
+                    store = ColumnarLicenseStore({licensee: license_list})
+                    recon = self.reconstructor
+
+                    def build() -> HftNetwork:
+                        return reconstruct_columnar(
+                            store,
+                            licensee,
+                            on_date,
+                            corridor=self.corridor,
+                            latency_model=recon.latency_model,
+                            stitch_tolerance_m=recon.stitch_tolerance_m,
+                            max_fiber_tail_m=recon.max_fiber_tail_m,
+                            fiber_mode=recon.fiber_mode,
+                        )
+
+                else:
+
+                    def build() -> HftNetwork:
+                        return self.reconstructor.reconstruct(
+                            license_list, on_date, licensee=licensee
+                        )
+
+                network = self._reconstruct_memoised(build, licensee)
                 self._snapshots.put(key, network)
             else:
                 obs.count("engine.snapshot.hit")
@@ -890,6 +973,7 @@ class CorridorEngine:
             route_cache_size=self._routes.maxsize,
             geodesic_memo_size=self._geodesic_memo.maxsize,
             incremental=self.incremental,
+            kernel=self.kernel,
             **base,
         )
 

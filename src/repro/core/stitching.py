@@ -66,11 +66,17 @@ class EndpointStitcher:
         else:
             cluster = self._clusters[index]
             cluster.license_ids.add(license_id)
-            # Prefer the richest metadata seen for the tower.
+            # Prefer the richest metadata seen for the tower.  Anchor and
+            # site name are first-seen (the anchor pins cluster geometry;
+            # a first non-empty site name is as canonical as any); the
+            # numeric fields max-merge so the result is independent of
+            # endpoint arrival order.
             if not cluster.site_name and location.site_name:
                 cluster.site_name = location.site_name
             if location.structure_height_m > cluster.structure_height_m:
                 cluster.structure_height_m = location.structure_height_m
+            if location.ground_elevation_m > cluster.ground_elevation_m:
+                cluster.ground_elevation_m = location.ground_elevation_m
         return index
 
     def _find_cluster(self, point: GeoPoint) -> int | None:

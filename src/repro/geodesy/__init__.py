@@ -24,6 +24,10 @@ Public API
 ``GeodesicMemo``, ``use_memo``, ``active_memo``
     Opt-in bounded memoisation of the Vincenty inverse hot path (installed
     by :class:`repro.core.engine.CorridorEngine` around reconstruction).
+``inverse_batch``, ``inverse_trig``, ``reduced_latitude_trig``
+    Batch evaluation over coordinate columns (the columnar kernel's
+    geodesic substrate), bit-identical to the scalar path and able to
+    consult/feed a :class:`GeodesicMemo` in bulk.
 """
 
 from repro.geodesy.earth import (
@@ -37,6 +41,11 @@ from repro.geodesy.earth import (
     geodesic_distance,
     geodesic_inverse,
     great_circle_distance,
+)
+from repro.geodesy.batch import (
+    inverse_batch,
+    inverse_trig,
+    reduced_latitude_trig,
 )
 from repro.geodesy.coordinates import (
     format_dms,
@@ -71,6 +80,9 @@ __all__ = [
     "GeodesicMemo",
     "active_memo",
     "use_memo",
+    "inverse_batch",
+    "inverse_trig",
+    "reduced_latitude_trig",
     "format_dms",
     "parse_dms",
     "parse_uls_coordinate",

@@ -55,6 +55,16 @@ DEFAULT_ACTIVE_ON_ALLOWED = (
     "src/repro/core/engine.py",
 )
 
+#: Path prefixes allowed to construct a ``ColumnarLicenseStore`` directly.
+#: Stores are per-database-generation derived state; building one anywhere
+#: else risks stale columns after a mutation — everything outside the uls
+#: layer obtains the cached store via ``UlsDatabase.columnar_store()``
+#: (the engine constructs ephemeral stores for explicit license sets).
+DEFAULT_COLUMNAR_ALLOWED = (
+    "src/repro/uls/",
+    "src/repro/core/engine.py",
+)
+
 #: Unit-suffix vocabulary: suffixes within one group share a dimension and
 #: must not be mixed in a single additive expression or comparison.
 DEFAULT_UNIT_GROUPS = (
@@ -111,6 +121,10 @@ class LintConfig:
     def active_on_allowed_paths(self) -> tuple[str, ...]:
         allowed = self.options_for("cache-discipline").get("active_on_allowed")
         return tuple(allowed) if allowed is not None else DEFAULT_ACTIVE_ON_ALLOWED
+
+    def columnar_allowed_paths(self) -> tuple[str, ...]:
+        allowed = self.options_for("cache-discipline").get("columnar_allowed")
+        return tuple(allowed) if allowed is not None else DEFAULT_COLUMNAR_ALLOWED
 
     def unit_groups(self) -> tuple[tuple[str, ...], ...]:
         groups = self.options_for("unit-suffix").get("groups")

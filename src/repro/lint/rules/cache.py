@@ -24,6 +24,10 @@ _KERNEL_CALLS = frozenset({"NetworkReconstructor", "reconstruct_all"})
 #: Linear-scan active-set lookups (confined to the index's own home).
 _SCAN_CALLS = frozenset({"active_on"})
 
+#: Per-generation derived state that must come from the database's cache
+#: (``UlsDatabase.columnar_store()``), not be constructed ad hoc.
+_COLUMNAR_CALLS = frozenset({"ColumnarLicenseStore"})
+
 
 def _prefix_allowed(rel_path: str, prefixes: tuple[str, ...]) -> bool:
     return any(
@@ -43,13 +47,17 @@ class CacheDisciplineRule(Rule):
         "and kernel modules bypasses the snapshot/route caches (use "
         "CorridorEngine or Scenario.engine()); active_on(...) outside the "
         "uls layer and the engine rescans every license (use "
-        "UlsDatabase.temporal_index())"
+        "UlsDatabase.temporal_index()); ColumnarLicenseStore(...) outside "
+        "the uls layer and the engine risks stale columns (use "
+        "UlsDatabase.columnar_store())"
     )
     interests = (ast.Call,)
 
     def applies_to(self, rel_path: str, config: LintConfig) -> bool:
-        return rel_path not in config.cache_allowed_files() or not _prefix_allowed(
-            rel_path, config.active_on_allowed_paths()
+        return (
+            rel_path not in config.cache_allowed_files()
+            or not _prefix_allowed(rel_path, config.active_on_allowed_paths())
+            or not _prefix_allowed(rel_path, config.columnar_allowed_paths())
         )
 
     def visit(self, node: ast.AST, ctx: FileContext) -> None:
@@ -76,4 +84,14 @@ class CacheDisciplineRule(Rule):
                 "list; resolve active sets via "
                 "UlsDatabase.temporal_index().active_ids_at(...) "
                 "(allowed only under src/repro/uls/ and the engine)",
+            )
+        elif name in _COLUMNAR_CALLS and not _prefix_allowed(
+            ctx.rel_path, ctx.config.columnar_allowed_paths()
+        ):
+            ctx.report(
+                self,
+                node,
+                "ColumnarLicenseStore(...) built outside the uls layer and "
+                "the engine risks stale columns after a database mutation; "
+                "use UlsDatabase.columnar_store() (cached per generation)",
             )

@@ -78,6 +78,11 @@ def _engine_cache_sizes(engine: CorridorEngine) -> dict:
         # Workers must resolve snapshot keys the same way the parent
         # does, or merged-back counters would disagree with a serial run.
         "incremental": engine.incremental,
+        # Kernel selection ships as a constructor argument, never as
+        # pickled columns: the database excludes its ColumnarLicenseStore
+        # from pickling, so a columnar worker rebuilds the store from the
+        # shipped license records under its own generation counter.
+        "kernel": engine.kernel,
     }
 
 

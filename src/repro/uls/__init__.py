@@ -9,6 +9,9 @@ in-process equivalent:
 * :mod:`repro.uls.database` — an indexed in-memory license store;
 * :mod:`repro.uls.index` — the temporal event index: O(log n) active-set
   lookups and ``diff(d1, d2)`` deltas over license life-cycle dates;
+* :mod:`repro.uls.columnar` — flat column-oriented license storage (one
+  store per database generation) backing the columnar reconstruction
+  kernel;
 * :mod:`repro.uls.search` — the four search interfaces the paper uses
   (geographic, site-based, licensee-name, license-detail);
 * :mod:`repro.uls.dumpio` — reader/writer for the pipe-delimited ULS
@@ -28,6 +31,7 @@ from repro.uls.records import (
     TowerLocation,
     active_licenses,
 )
+from repro.uls.columnar import ColumnarLicenseStore
 from repro.uls.database import UlsDatabase
 from repro.uls.index import TemporalDelta, TemporalIndex, license_interval
 from repro.uls.search import UlsSearchService
@@ -48,6 +52,7 @@ __all__ = [
     "TowerLocation",
     "active_licenses",
     "UlsDatabase",
+    "ColumnarLicenseStore",
     "TemporalDelta",
     "TemporalIndex",
     "license_interval",

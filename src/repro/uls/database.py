@@ -13,6 +13,7 @@ import math
 from typing import Iterable, Iterator
 
 from repro.geodesy import GeoPoint, geodesic_distance
+from repro.uls.columnar import ColumnarLicenseStore
 from repro.uls.index import TemporalIndex
 from repro.uls.records import License
 
@@ -45,6 +46,9 @@ class UlsDatabase:
         #: Lazily-built temporal indices: None = database-wide, a
         #: licensee name = that licensee's filings only.
         self._temporal_indices: dict[str | None, TemporalIndex] = {}
+        #: Lazily-built columnar store (one per generation, like the
+        #: temporal indices; invalidated by any mutation).
+        self._columnar_store: ColumnarLicenseStore | None = None
         for lic in licenses:
             self.add(lic)
 
@@ -67,6 +71,7 @@ class UlsDatabase:
             self._grid.setdefault(cell, []).append((location.point, lic.license_id))
         self._generation += 1
         self._temporal_indices.clear()
+        self._columnar_store = None
 
     def extend(self, licenses: Iterable[License]) -> None:
         for lic in licenses:
@@ -162,10 +167,38 @@ class UlsDatabase:
             self._temporal_indices[licensee] = index
         return index
 
+    def columnar_store(self) -> ColumnarLicenseStore:
+        """The (cached) columnar view of every filing, one per generation.
+
+        Built lazily on first use — rows grouped per licensee in
+        ``licensee_names()`` order, licenses in filing (insertion) order
+        — and invalidated whenever a license is added, exactly like the
+        temporal indices.  The columnar reconstruction kernel
+        (:mod:`repro.core.columnar`) iterates this store instead of the
+        per-object license graph.
+        """
+        store = self._columnar_store
+        if store is None or store.generation != self._generation:
+            store = ColumnarLicenseStore(
+                {
+                    name: self._by_licensee[name]
+                    for name in sorted(self._by_licensee)
+                },
+                generation=self._generation,
+            )
+            self._columnar_store = store
+        return store
+
     def __getstate__(self) -> dict:
-        """Pickle without the index cache (workers rebuild lazily)."""
+        """Pickle without the derived caches (workers rebuild lazily).
+
+        The columnar store is deliberately excluded: workers rebuild it
+        from the shipped license records under their own generation
+        counter rather than trusting pickled float columns.
+        """
         state = self.__dict__.copy()
         state["_temporal_indices"] = {}
+        state["_columnar_store"] = None
         return state
 
     # ------------------------------------------------------------------

@@ -60,6 +60,34 @@ class TestEndpointStitcher:
         assert towers[0].point.longitude < towers[1].point.longitude
         assert towers[0].tower_id == "twr-0001"
 
+    def test_ground_elevation_max_merged(self):
+        stitcher = EndpointStitcher(30.0)
+        stitcher.add_endpoint(_loc(BASE, ground_elevation_m=180.0), "L1")
+        stitcher.add_endpoint(_loc(BASE, ground_elevation_m=200.5), "L2")
+        towers, _ = stitcher.towers()
+        assert towers[0].ground_elevation_m == 200.5
+
+    def test_metadata_independent_of_endpoint_order(self):
+        # The numeric fields max-merge, so any arrival order of the same
+        # endpoints yields the same tower metadata (site name and anchor
+        # stay first-seen by design; here every variant shares both).
+        variants = [
+            _loc(BASE, ground_elevation_m=150.0, structure_height_m=80.0),
+            _loc(BASE, ground_elevation_m=201.0, structure_height_m=50.0),
+            _loc(BASE, ground_elevation_m=175.0, structure_height_m=95.0),
+            _loc(BASE, ground_elevation_m=120.0, structure_height_m=60.0),
+        ]
+        import itertools
+
+        results = set()
+        for order in itertools.permutations(range(len(variants))):
+            stitcher = EndpointStitcher(30.0)
+            for position in order:
+                stitcher.add_endpoint(variants[position], f"L{position}")
+            (tower,), _ = stitcher.towers()
+            results.add((tower.ground_elevation_m, tower.structure_height_m))
+        assert results == {(201.0, 95.0)}
+
     def test_requires_positive_tolerance(self):
         with pytest.raises(ValueError):
             EndpointStitcher(0.0)

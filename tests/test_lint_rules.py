@@ -258,6 +258,71 @@ class TestActiveOnDiscipline:
         assert rule_names(findings) == ["cache-discipline"]
 
 
+class TestColumnarStoreDiscipline:
+    """ColumnarLicenseStore(...) is confined to the uls layer and engine."""
+
+    OPTIONS = {
+        "cache-discipline": {
+            "allowed": ["allowed/engine.py"],
+            "columnar_allowed": ["src/repro/uls/", "src/repro/core/engine.py"],
+        }
+    }
+
+    def test_store_construction_flagged_outside_allowed(self, tmp_path):
+        source = """
+            from repro.uls import ColumnarLicenseStore
+
+            def fast_path(db):
+                return ColumnarLicenseStore({"X": db.licenses_for("X")})
+        """
+        findings = findings_for(
+            tmp_path, source, name="src/repro/analysis/driver.py",
+            rules=("cache-discipline",), rule_options=self.OPTIONS,
+        )
+        assert rule_names(findings) == ["cache-discipline"]
+        assert "columnar_store()" in findings[0].message
+
+    def test_store_construction_allowed_under_uls(self, tmp_path):
+        source = """
+            def build(groups, generation):
+                return ColumnarLicenseStore(groups, generation=generation)
+        """
+        assert findings_for(
+            tmp_path, source, name="src/repro/uls/database.py",
+            rules=("cache-discipline",), rule_options=self.OPTIONS,
+        ) == []
+
+    def test_store_construction_allowed_in_engine(self, tmp_path):
+        source = """
+            def ephemeral(licensee, license_list):
+                return ColumnarLicenseStore({licensee: license_list})
+        """
+        assert findings_for(
+            tmp_path, source, name="src/repro/core/engine.py",
+            rules=("cache-discipline",), rule_options=self.OPTIONS,
+        ) == []
+
+    def test_cached_accessor_ok_anywhere(self, tmp_path):
+        source = """
+            def fast_path(db):
+                return db.columnar_store()
+        """
+        assert findings_for(
+            tmp_path, source, name="src/repro/analysis/driver.py",
+            rules=("cache-discipline",), rule_options=self.OPTIONS,
+        ) == []
+
+    def test_default_prefixes_apply_without_options(self, tmp_path):
+        source = """
+            store = ColumnarLicenseStore(groups)
+        """
+        findings = findings_for(
+            tmp_path, source, name="src/repro/metrics/thing.py",
+            rules=("cache-discipline",),
+        )
+        assert rule_names(findings) == ["cache-discipline"]
+
+
 class TestFloatEq:
     OPTIONS = {"float-eq": {"paths": ["numeric/"]}}
 
