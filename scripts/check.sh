@@ -19,9 +19,27 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 python -m compileall -q src
 
 # Project linter (repro.lint): determinism, cache discipline, float and
-# unit safety, obs timing discipline.  Fails on any finding not covered
-# by an inline pragma or the committed baseline (lint-baseline.json).
+# unit safety, obs timing discipline, plus the whole-program flow rules
+# (shared-state, transitive-determinism, layering, dead-code).  Fails on
+# any finding not covered by an inline pragma or the committed baseline
+# (lint-baseline.json).  Starts cold (no cache file) so the cache gate
+# below has a known-cold first run.
+rm -f .lint-cache.json
 python -m repro lint
+
+# Layering gate: the module import graph must stay a DAG (the layering
+# rule orders the tiers; this catches any cycle, tiered or not).
+python -m repro lint graph --check-cycles > /dev/null
+
+# Incremental-lint gate: the warm (cached) run and a cache-free run must
+# report byte-identical findings — the content-hash cache may only skip
+# work, never change the answer.  The first lint above left a fully
+# populated .lint-cache.json, so this diff is warm-vs-cold.
+if ! diff <(python -m repro lint --format json) \
+          <(python -m repro lint --no-cache --format json); then
+    echo "check.sh: cached lint output differs from cache-free lint" >&2
+    exit 1
+fi
 
 # Full suite, then the ordering-independence pass.
 python -m pytest -q

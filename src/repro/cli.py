@@ -391,11 +391,19 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             print(f"{name:18s} {rule_cls.description}")
         return 0
     config = load_config(root=find_project_root())
+    if args.paths and args.paths[0] == "graph":
+        return _cmd_lint_graph(args, config)
+    cache = None
+    if not args.no_cache:
+        from repro.lint.flow.cache import FlowCache
+
+        cache = FlowCache(config.root / config.flow_cache_path())
     try:
         result = lint_paths(
             args.paths or None,
             config=config,
             use_baseline=not args.no_baseline,
+            cache=cache,
         )
     except FileNotFoundError as error:
         print(str(error), file=sys.stderr)
@@ -421,6 +429,37 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     else:
         print(render_text(result, verbose=args.verbose))
     return 0 if result.ok else 1
+
+
+def _cmd_lint_graph(args: argparse.Namespace, config) -> int:
+    """``hftnetview lint graph``: render the whole-program flow graph."""
+    from repro.lint.flow.cache import FlowCache
+    from repro.lint.flow.program import build_program_analysis
+    from repro.lint.flow.report import (
+        render_graph_json,
+        render_graph_text,
+        render_why,
+    )
+
+    cache = (
+        None
+        if args.no_cache
+        else FlowCache(config.root / config.flow_cache_path())
+    )
+    analysis = build_program_analysis(config, cache=cache)
+    if cache is not None:
+        cache.save()
+    if args.why:
+        print(render_why(analysis, args.why))
+        return 0
+    if args.format == "json":
+        print(render_graph_json(analysis, include_effects=args.effects))
+    else:
+        print(render_graph_text(analysis))
+    if args.check_cycles and analysis.graph.import_cycles():
+        print("import cycles detected", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _obs_parent_parser() -> argparse.ArgumentParser:
@@ -551,7 +590,8 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "paths", nargs="*",
         help="files/directories to lint (default: [tool.repro.lint] "
-        "default_paths, i.e. src/repro)",
+        "default_paths, i.e. src/repro), or 'graph' to render the "
+        "whole-program flow graph",
     )
     lint.add_argument(
         "--format", choices=("text", "json"), default="text",
@@ -576,6 +616,26 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--list-rules", action="store_true",
         help="list registered rules and exit",
+    )
+    lint.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk findings cache (.lint-cache.json); "
+        "warm reruns with the cache skip unchanged files",
+    )
+    lint.add_argument(
+        "--effects", action="store_true",
+        help="(graph) include per-function direct and transitive effect "
+        "summaries in the JSON output",
+    )
+    lint.add_argument(
+        "--check-cycles", action="store_true",
+        help="(graph) exit non-zero if the module import graph contains "
+        "a cycle",
+    )
+    lint.add_argument(
+        "--why", default=None, metavar="MODULE.FN",
+        help="(graph) explain one function: definition site, direct and "
+        "transitive effects with call chains, worker/CLI reachability",
     )
     lint.set_defaults(func=_cmd_lint)
     return parser

@@ -41,10 +41,6 @@ class PathExplosionError(RuntimeError):
     """Raised when bounded enumeration exceeds its safety cap."""
 
 
-def _latency(data: dict) -> float:
-    return data["latency_s"]
-
-
 def distance_maps(
     graph: nx.Graph, source: Node, target: Node
 ) -> tuple[dict[Node, float], dict[Node, float]]:

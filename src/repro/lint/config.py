@@ -85,6 +85,64 @@ DEFAULT_PARALLEL_ALLOWED = (
     "src/repro/parallel/",
 )
 
+#: Source roots the whole-program flow analysis parses.  Modules are named
+#: by their path relative to each root's *parent* (``src/repro/core``
+#: → ``repro.core``), so roots must be package directories.
+DEFAULT_FLOW_ROOTS = ("src/repro",)
+
+#: On-disk findings/summary cache written by the CLI (root-relative).
+DEFAULT_FLOW_CACHE = ".lint-cache.json"
+
+#: fnmatch patterns (over function fqns) naming the entry points whose
+#: reachable set must not mutate module-level state: the parallel worker
+#: entries (each runs in a forked/spawned child whose module globals are
+#: invisible to the parent and to sibling workers) and the CLI subcommand
+#: mains (each must be runnable in any order, in one process).
+DEFAULT_SHARED_STATE_ROOTS = (
+    "repro.parallel.executor._worker_init",
+    "repro.parallel.executor._run_chunk_in_worker",
+    "repro.parallel.grid._grid_task",
+    "repro.parallel.grid._build_worker_state",
+    "repro.parallel.grid._install_seeds",
+    "repro.cli.main",
+    "repro.cli._cmd_*",
+)
+
+#: Module globals whose mutation is deliberate and worker-safe:
+#: the obs session accumulator (reset per process, reduced explicitly),
+#: the engine's process-wide mode toggles (written only by CLI flag
+#: handling before any work runs), the geodesy memo scope handle and the
+#: per-worker context slot (written once in the worker initializer).
+DEFAULT_SHARED_STATE_ALLOWED = (
+    "repro.core.engine.INCREMENTAL_DEFAULT",
+    "repro.core.engine.KERNEL_DEFAULT",
+    "repro.geodesy.memo._active_memo",
+    "repro.lint.registry._REGISTRY",
+    "repro.obs.spans._STATE",
+    "repro.parallel.executor._WORKER_CONTEXT",
+)
+
+#: The import layering, lowest tier first.  A module may import same-tier
+#: or lower-tier modules; importing upward is a finding.  Modules matching
+#: no entry (``repro.parallel``, ``repro.lint``, the ``repro`` package
+#: itself) are untiered: they may be imported from anywhere and the rule
+#: stays silent about their own imports.
+DEFAULT_LAYERS = (
+    ("repro.constants", "repro.obs"),
+    ("repro.geodesy",),
+    ("repro.uls",),
+    ("repro.core",),
+    ("repro.leo", "repro.radio", "repro.synth"),
+    ("repro.metrics",),
+    ("repro.viz",),
+    ("repro.analysis", "repro.design"),
+    ("repro.cli", "repro.__main__"),
+)
+
+#: Root-relative paths scanned for identifiers that keep private
+#: functions alive (tests and benchmarks reach into internals by name).
+DEFAULT_DEAD_CODE_REFERENCES = ("tests", "benchmarks", "scripts")
+
 _KNOWN_TOP_KEYS = {"enable", "baseline", "default_paths"}
 
 
@@ -139,6 +197,36 @@ class LintConfig:
     def parallel_allowed_paths(self) -> tuple[str, ...]:
         allowed = self.options_for("parallel-discipline").get("allowed")
         return tuple(allowed) if allowed is not None else DEFAULT_PARALLEL_ALLOWED
+
+    def flow_roots(self) -> tuple[str, ...]:
+        roots = self.options_for("flow").get("roots")
+        return tuple(roots) if roots is not None else DEFAULT_FLOW_ROOTS
+
+    def flow_cache_path(self) -> str:
+        path = self.options_for("flow").get("cache")
+        return str(path) if path is not None else DEFAULT_FLOW_CACHE
+
+    def shared_state_roots(self) -> tuple[str, ...]:
+        roots = self.options_for("shared-state").get("roots")
+        return tuple(roots) if roots is not None else DEFAULT_SHARED_STATE_ROOTS
+
+    def shared_state_allowed(self) -> tuple[str, ...]:
+        allowed = self.options_for("shared-state").get("allowed")
+        return (
+            tuple(allowed) if allowed is not None else DEFAULT_SHARED_STATE_ALLOWED
+        )
+
+    def layering_layers(self) -> tuple[tuple[str, ...], ...]:
+        layers = self.options_for("layering").get("layers")
+        if layers is None:
+            return DEFAULT_LAYERS
+        return tuple(tuple(layer) for layer in layers)
+
+    def dead_code_reference_paths(self) -> tuple[str, ...]:
+        paths = self.options_for("dead-code").get("references")
+        return (
+            tuple(paths) if paths is not None else DEFAULT_DEAD_CODE_REFERENCES
+        )
 
 
 def find_project_root(start: Path | None = None) -> Path:

@@ -1,0 +1,51 @@
+"""``repro.lint.flow`` — whole-program flow analysis under the linter.
+
+The per-file rules of :mod:`repro.lint.rules` see one AST at a time; they
+cannot know that ``analysis.funnel`` calls ``core.routing`` calls a
+function that writes a module global.  This subpackage builds that missing
+global view once per lint run:
+
+* :mod:`~repro.lint.flow.summary` — a per-file, JSON-serialisable
+  :class:`ModuleSummary`: imports, symbols, per-function call sites and
+  *direct* effects (module-global writes, argument mutation, unseeded RNG,
+  wall-clock/timer reads, filesystem/network IO, process spawns);
+* :mod:`~repro.lint.flow.graph` — the :class:`ProgramGraph`: project
+  symbol table, module import graph, function-level call graph, SCC
+  condensation, reachability and chain explanation — all deterministically
+  ordered so two runs (any ``PYTHONHASHSEED``) render byte-identically;
+* :mod:`~repro.lint.flow.effects` — transitive effect propagation to a
+  fixpoint over the condensed call graph, giving every function a closed
+  effect summary;
+* :mod:`~repro.lint.flow.rules` — the graph-powered lint rules
+  (``shared-state``, ``transitive-determinism``, ``layering``,
+  ``dead-code``) registered in the ordinary rule registry;
+* :mod:`~repro.lint.flow.cache` — the content-hash keyed on-disk findings
+  cache that lets warm ``hftnetview lint`` reruns skip unchanged files;
+* :mod:`~repro.lint.flow.report` — the ``hftnetview lint graph`` renderers
+  (text summary, stable JSON, ``--why`` reachability chains).
+
+Entry point: :func:`build_program_analysis` (used by the lint driver's
+program stage and the ``lint graph`` CLI).
+"""
+
+from repro.lint.flow.cache import FlowCache
+from repro.lint.flow.effects import (
+    EFFECT_KINDS,
+    EffectSummary,
+    propagate_effects,
+)
+from repro.lint.flow.graph import ProgramGraph
+from repro.lint.flow.program import ProgramAnalysis, build_program_analysis
+from repro.lint.flow.summary import ModuleSummary, summarize_source
+
+__all__ = [
+    "EFFECT_KINDS",
+    "EffectSummary",
+    "FlowCache",
+    "ModuleSummary",
+    "ProgramAnalysis",
+    "ProgramGraph",
+    "build_program_analysis",
+    "propagate_effects",
+    "summarize_source",
+]

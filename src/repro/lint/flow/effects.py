@@ -1,0 +1,134 @@
+"""Transitive effect propagation over the condensed call graph.
+
+Each function starts with the *direct* effects its body exhibits (the
+generators extracted by :mod:`repro.lint.flow.summary`).  This module
+closes them over the call graph: a function has an effect transitively if
+any function it (transitively) calls or references has it directly.
+
+The effect domain is a powerset lattice over ``EFFECT_KINDS`` origins, so
+the fixpoint is a single reverse-topological union pass over the SCC
+condensation — mutual recursion collapses into one component that shares
+one effect set, and every component is visited exactly once after all its
+callees.  All orders are sorted; the result is independent of hash
+seeding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lint.flow.graph import ProgramGraph
+
+#: The full effect vocabulary, sorted (see summary.py for definitions).
+EFFECT_KINDS = (
+    "arg-mutate",
+    "clock",
+    "global-write",
+    "io",
+    "process",
+    "rng",
+    "timer",
+)
+
+#: One effect origin: (leaf function fqn, detail, line in the leaf file).
+Origin = tuple[str, str, int]
+
+
+@dataclass
+class EffectSummary:
+    """Closed (direct + transitive) effects of one function."""
+
+    fqn: str
+    #: Effects this function's own body exhibits: (kind, detail, line).
+    direct: tuple[tuple[str, str, int], ...] = ()
+    #: kind → sorted origins across everything reachable (self included).
+    transitive: dict[str, tuple[Origin, ...]] = field(default_factory=dict)
+
+    def kinds(self) -> tuple[str, ...]:
+        return tuple(sorted(self.transitive))
+
+    def direct_kinds(self) -> frozenset[str]:
+        return frozenset(kind for kind, _detail, _line in self.direct)
+
+    def origins(self, kind: str) -> tuple[Origin, ...]:
+        return self.transitive.get(kind, ())
+
+    def to_dict(self) -> dict:
+        return {
+            "direct": [list(effect) for effect in self.direct],
+            "transitive": {
+                kind: [list(origin) for origin in origins]
+                for kind, origins in sorted(self.transitive.items())
+            },
+        }
+
+
+def propagate_effects(graph: ProgramGraph) -> dict[str, EffectSummary]:
+    """Fixpoint effect summaries for every function in ``graph``."""
+    components = graph.strongly_connected_components()
+    comp_of: dict[str, int] = {}
+    for i, component in enumerate(components):
+        for member in component:
+            comp_of[member] = i
+
+    successors: list[tuple[int, ...]] = []
+    for i, component in enumerate(components):
+        succ = {
+            comp_of[callee]
+            for member in component
+            for callee in graph.call_edges.get(member, ())
+        }
+        succ.discard(i)
+        successors.append(tuple(sorted(succ)))
+
+    # Reverse-topological order of the condensation via iterative DFS
+    # postorder (callees strictly before callers).
+    order: list[int] = []
+    visited = [False] * len(components)
+    for start in range(len(components)):
+        if visited[start]:
+            continue
+        stack: list[tuple[int, int]] = [(start, 0)]
+        visited[start] = True
+        while stack:
+            comp, next_i = stack[-1]
+            advanced = False
+            for j in range(next_i, len(successors[comp])):
+                succ = successors[comp][j]
+                if not visited[succ]:
+                    stack[-1] = (comp, j + 1)
+                    stack.append((succ, 0))
+                    visited[succ] = True
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(comp)
+                stack.pop()
+
+    comp_effects: list[dict[str, frozenset[Origin]]] = [
+        {} for _ in components
+    ]
+    for comp in order:
+        merged: dict[str, set[Origin]] = {}
+        for member in components[comp]:
+            for kind, detail, line in graph.functions[member].effects:
+                merged.setdefault(kind, set()).add((member, detail, line))
+        for succ in successors[comp]:
+            for kind, origins in comp_effects[succ].items():
+                merged.setdefault(kind, set()).update(origins)
+        comp_effects[comp] = {
+            kind: frozenset(origins) for kind, origins in merged.items()
+        }
+
+    summaries: dict[str, EffectSummary] = {}
+    for fqn, node in graph.functions.items():
+        closed = comp_effects[comp_of[fqn]]
+        summaries[fqn] = EffectSummary(
+            fqn=fqn,
+            direct=node.effects,
+            transitive={
+                kind: tuple(sorted(origins))
+                for kind, origins in sorted(closed.items())
+            },
+        )
+    return summaries

@@ -1,0 +1,217 @@
+"""Assemble the whole-program analysis one lint run (or CLI query) uses.
+
+:func:`build_program_analysis` walks the configured flow roots, obtains a
+:class:`ModuleSummary` per file (from the cache when content hashes match,
+from a fresh parse otherwise, or handed in pre-built by the lint driver so
+a cold ``lint`` run still parses each file exactly once), builds the
+:class:`ProgramGraph`, closes effects over it, and scans the dead-code
+reference paths (tests, benchmarks, scripts) for identifiers that keep
+private functions alive.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.config import LintConfig
+from repro.lint.flow.cache import FlowCache, digest_text
+from repro.lint.flow.effects import EffectSummary, propagate_effects
+from repro.lint.flow.graph import ProgramGraph
+from repro.lint.flow.summary import ModuleSummary, summarize_source
+
+#: Tokens harvested from reference files (tests reach into internals by
+#: name: ``from repro.core.engine import _collect``, ``getattr(m, "_fn")``).
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+def module_name_for(root: str, rel_path: str) -> str | None:
+    """Dotted module name of ``rel_path`` under flow root ``root``.
+
+    The root must be a package directory; modules are named relative to
+    its parent: ``src/repro`` + ``src/repro/core/engine.py`` →
+    ``repro.core.engine``.
+    """
+    root = root.strip("/")
+    prefix = root.rsplit("/", 1)[0]
+    if not (rel_path == root + ".py" or rel_path.startswith(root + "/")):
+        return None
+    trimmed = rel_path[len(prefix) + 1 :] if prefix else rel_path
+    if trimmed.endswith("/__init__.py"):
+        trimmed = trimmed[: -len("/__init__.py")]
+    elif trimmed.endswith(".py"):
+        trimmed = trimmed[: -len(".py")]
+    else:
+        return None
+    return trimmed.replace("/", ".")
+
+
+def flow_files(config: LintConfig) -> list[tuple[Path, str, str]]:
+    """Sorted ``(abs_path, rel_path, module)`` for every flow-root file."""
+    out: list[tuple[Path, str, str]] = []
+    seen: set[str] = set()
+    for root in config.flow_roots():
+        base = config.root / root
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*.py")):
+            rel = path.relative_to(config.root).as_posix()
+            module = module_name_for(root, rel)
+            if module is None or rel in seen:
+                continue
+            seen.add(rel)
+            out.append((path, rel, module))
+    out.sort(key=lambda item: item[1])
+    return out
+
+
+def reference_files(config: LintConfig) -> list[tuple[Path, str]]:
+    """Sorted ``(abs_path, rel_path)`` dead-code reference files."""
+    out: list[tuple[Path, str]] = []
+    for ref in config.dead_code_reference_paths():
+        base = config.root / ref
+        if base.is_file():
+            candidates = [base]
+        elif base.is_dir():
+            candidates = sorted(base.rglob("*.py"))
+        else:
+            continue
+        for path in candidates:
+            out.append((path, path.relative_to(config.root).as_posix()))
+    out.sort(key=lambda item: item[1])
+    return out
+
+
+@dataclass
+class ProgramAnalysis:
+    """The whole-program view the graph rules and the CLI consume."""
+
+    config: LintConfig
+    graph: ProgramGraph
+    #: fqn → closed effect summary.
+    effects: dict[str, EffectSummary]
+    #: Identifiers appearing in tests/benchmarks/scripts.
+    external_names: frozenset[str] = frozenset()
+    #: (rel_path, digest) per analysed file, for fingerprinting.
+    file_digests: tuple[tuple[str, str], ...] = ()
+    #: Files that failed to parse (rel paths) — analysed best-effort.
+    unparsed: tuple[str, ...] = field(default_factory=tuple)
+
+    def rel_path_of(self, fqn: str) -> str:
+        node = self.graph.functions.get(fqn)
+        if node is not None:
+            return self.graph.module_paths.get(node.module, "")
+        return self.graph.module_paths.get(fqn, "")
+
+    def line_of(self, fqn: str) -> int:
+        node = self.graph.functions.get(fqn)
+        return node.line if node is not None else 1
+
+
+def _summary_for(
+    path: Path,
+    rel: str,
+    module: str,
+    source: str,
+    digest: str,
+    cache: FlowCache | None,
+) -> ModuleSummary | None:
+    if cache is not None:
+        cached = cache.get_summary(rel, digest)
+        if cached is not None and cached.module == module:
+            return cached
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError:
+        return None
+    summary = summarize_source(rel, module, tree)
+    if cache is not None:
+        cache.put_summary(rel, digest, summary)
+    return summary
+
+
+def build_program_analysis(
+    config: LintConfig,
+    cache: FlowCache | None = None,
+    summaries: dict[str, tuple[str, ModuleSummary]] | None = None,
+) -> ProgramAnalysis:
+    """Build the analysis for ``config``'s flow roots.
+
+    ``summaries`` maps rel_path → (digest, summary) for files the caller
+    already parsed this run (the lint driver's per-file stage); they are
+    trusted as-is and recorded into the cache.
+    """
+    collected: dict[str, ModuleSummary] = {}
+    digests: list[tuple[str, str]] = []
+    unparsed: list[str] = []
+
+    for path, rel, module in flow_files(config):
+        prebuilt = summaries.get(rel) if summaries else None
+        if prebuilt is not None:
+            digest, summary = prebuilt
+            if cache is not None and cache.get_summary(rel, digest) is None:
+                cache.put_summary(rel, digest, summary)
+        else:
+            try:
+                source = path.read_text(encoding="utf-8")
+            except OSError:
+                continue
+            digest = digest_text(source)
+            summary = _summary_for(path, rel, module, source, digest, cache)
+        digests.append((rel, digest))
+        if summary is None:
+            unparsed.append(rel)
+            continue
+        collected[module] = summary
+
+    names: set[str] = set()
+    for path, rel in reference_files(config):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        digest = digest_text(source)
+        digests.append((rel, digest))
+        cached = cache.get_identifiers(rel, digest) if cache else None
+        if cached is not None:
+            names.update(cached)
+            continue
+        found = sorted(set(_IDENT_RE.findall(source)))
+        if cache is not None:
+            cache.put_identifiers(rel, digest, found)
+        names.update(found)
+
+    graph = ProgramGraph(collected)
+    effects = propagate_effects(graph)
+    return ProgramAnalysis(
+        config=config,
+        graph=graph,
+        effects=effects,
+        external_names=frozenset(names),
+        file_digests=tuple(sorted(digests)),
+        unparsed=tuple(sorted(unparsed)),
+    )
+
+
+def tree_fingerprint(config: LintConfig, key: str) -> str:
+    """Whole-tree fingerprint for the program-findings fast path.
+
+    Hashes every flow-root and reference file's content digest together
+    with the rule/config fingerprint ``key`` — computable by reading (not
+    parsing) the tree, so a fully-warm run can skip the graph build.
+    """
+    digests: list[list[str]] = []
+    for path, rel, _module in flow_files(config):
+        try:
+            digests.append([rel, digest_text(path.read_text(encoding="utf-8"))])
+        except OSError:
+            continue
+    for path, rel in reference_files(config):
+        try:
+            digests.append([rel, digest_text(path.read_text(encoding="utf-8"))])
+        except OSError:
+            continue
+    return digest_text(json.dumps([key, sorted(digests)], sort_keys=True))

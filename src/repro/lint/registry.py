@@ -100,6 +100,27 @@ class Rule:
         """Hook after the last node of a file was visited."""
 
 
+class ProgramRule(Rule):
+    """Base class for whole-program rules.
+
+    Unlike per-file rules, a program rule never visits AST nodes: the
+    driver builds one :class:`~repro.lint.flow.program.ProgramAnalysis`
+    (symbol table, call graph, transitive effects) for the run and hands
+    it to :meth:`check_program`, which returns findings directly.  The
+    driver then applies the ordinary pragma/baseline machinery, so
+    ``# lint: disable=shared-state`` works exactly like for file rules.
+    """
+
+    interests: tuple[type, ...] = ()
+
+    def check_program(self, analysis) -> list[Finding]:
+        """Inspect the whole-program analysis (override in subclasses)."""
+        raise NotImplementedError
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        """Program rules never receive per-node dispatch."""
+
+
 #: All registered rule classes, keyed by rule name.
 _REGISTRY: dict[str, Type[Rule]] = {}
 
@@ -118,7 +139,10 @@ def register(rule_cls: Type[Rule]) -> Type[Rule]:
 def registered_rules() -> dict[str, Type[Rule]]:
     """Name → class for every registered rule (built-ins auto-import)."""
     # Importing the rules package registers every built-in rule module.
+    # The whole-program rules live beside the analysis they consume and
+    # are imported second: they depend on the per-file rule vocabularies.
     import repro.lint.rules  # noqa: F401  (import for side effect)
+    import repro.lint.flow.rules  # noqa: F401  (import for side effect)
 
     return dict(_REGISTRY)
 

@@ -50,7 +50,31 @@ _WALL_CLOCK_SUFFIXES = (
     "time.time",
     "time.time_ns",
     "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
 )
+
+#: The process-timer subset of the wall-clock vocabulary.  These are the
+#: legitimate clock of the obs layer (``repro.obs.spans`` times spans with
+#: ``perf_counter_ns``) and of the benchmark harness, so — mirroring the
+#: obs-discipline rule's confinement — they are exempt inside the
+#: configured obs-allowed paths.  Absolute wall-clock reads
+#: (``datetime.now`` & co.) stay banned everywhere.
+_PROCESS_TIMER_SUFFIXES = frozenset(
+    {
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+    }
+)
+
+#: Public aliases consumed by the whole-program effect extractor
+#: (:mod:`repro.lint.flow.summary`) so the leaf vocabulary has one home.
+WALL_CLOCK_SUFFIXES = _WALL_CLOCK_SUFFIXES
+PROCESS_TIMER_SUFFIXES = _PROCESS_TIMER_SUFFIXES
+MODULE_RNG_FUNCTIONS = _MODULE_RNG_FUNCTIONS
 
 
 def _contains_hash_call(node: ast.AST) -> ast.Call | None:
@@ -143,6 +167,13 @@ class WallClockRule(Rule):
             return
         for suffix in _WALL_CLOCK_SUFFIXES:
             if dotted == suffix or dotted.endswith("." + suffix):
+                if suffix in _PROCESS_TIMER_SUFFIXES and any(
+                    ctx.rel_path.startswith(prefix)
+                    for prefix in ctx.config.obs_allowed_paths()
+                ):
+                    # Process timers are the obs layer's own clock; the
+                    # obs-discipline rule governs them elsewhere.
+                    return
                 ctx.report(
                     self,
                     node,

@@ -10,9 +10,14 @@ from __future__ import annotations
 
 import ast
 
-from repro.lint.registry import FileContext, Rule, register
+from repro.lint.registry import FileContext, Rule, call_name, register
 
-_MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set"})
+#: Constructor names (bare or the trailing part of a dotted call) whose
+#: result is a fresh mutable container: ``dict()`` and
+#: ``collections.defaultdict(list)`` are the same trap.
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {"list", "dict", "set", "defaultdict", "deque", "Counter", "OrderedDict"}
+)
 _BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
 
 
@@ -22,8 +27,7 @@ def _is_mutable_default(node: ast.AST) -> bool:
         return True
     return (
         isinstance(node, ast.Call)
-        and isinstance(node.func, ast.Name)
-        and node.func.id in _MUTABLE_CONSTRUCTORS
+        and call_name(node) in _MUTABLE_CONSTRUCTORS
     )
 
 

@@ -65,9 +65,16 @@ class TestRegistry:
         } <= names
 
     def test_every_rule_has_description_and_interests(self):
+        from repro.lint.registry import ProgramRule
+
         for rule_cls in registered_rules().values():
             assert rule_cls.description
-            assert rule_cls.interests
+            if issubclass(rule_cls, ProgramRule):
+                # Program rules consume the whole-program analysis, not
+                # per-node dispatch.
+                assert rule_cls.interests == ()
+            else:
+                assert rule_cls.interests
 
     def test_unknown_rule_name_raises(self):
         with pytest.raises(KeyError):

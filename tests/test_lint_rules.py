@@ -133,6 +133,52 @@ class TestWallClock:
         """
         assert findings_for(tmp_path, source, rules=("wall-clock",)) == []
 
+    def test_process_timers_flagged_outside_obs_paths(self, tmp_path):
+        source = """
+            import time
+            a = time.perf_counter()
+            b = time.perf_counter_ns()
+            c = time.monotonic_ns()
+        """
+        assert rule_names(
+            findings_for(tmp_path, source, rules=("wall-clock",))
+        ) == ["wall-clock"] * 3
+
+    def test_process_timers_exempt_inside_obs_allowed_paths(self, tmp_path):
+        source = """
+            import time
+            started = time.perf_counter_ns()
+        """
+        assert (
+            findings_for(
+                tmp_path,
+                source,
+                name="src/repro/obs/spans.py",
+                rules=("wall-clock",),
+                rule_options={
+                    "obs-discipline": {"allowed": ["src/repro/obs/"]}
+                },
+            )
+            == []
+        )
+
+    def test_absolute_clock_not_exempt_inside_obs_paths(self, tmp_path):
+        source = """
+            import time
+            t = time.time()
+        """
+        assert rule_names(
+            findings_for(
+                tmp_path,
+                source,
+                name="src/repro/obs/spans.py",
+                rules=("wall-clock",),
+                rule_options={
+                    "obs-discipline": {"allowed": ["src/repro/obs/"]}
+                },
+            )
+        ) == ["wall-clock"]
+
 
 class TestCacheDiscipline:
     OPTIONS = {"cache-discipline": {"allowed": ["allowed/engine.py"]}}
@@ -386,6 +432,39 @@ class TestHygiene:
     def test_none_default_ok(self, tmp_path):
         source = """
             def f(items=None, name="x", count=0, point=(1, 2)):
+                pass
+        """
+        assert findings_for(tmp_path, source, rules=("mutable-default",)) == []
+
+    def test_constructor_defaults_flagged(self, tmp_path):
+        source = """
+            def f(items=list(), table=dict(), tags=set()):
+                pass
+        """
+        assert rule_names(
+            findings_for(tmp_path, source, rules=("mutable-default",))
+        ) == ["mutable-default"] * 3
+
+    def test_dotted_constructor_defaults_flagged(self, tmp_path):
+        source = """
+            import collections
+
+            def f(
+                table=collections.defaultdict(list),
+                queue=collections.deque(),
+                counts=collections.Counter(),
+            ):
+                pass
+        """
+        assert rule_names(
+            findings_for(tmp_path, source, rules=("mutable-default",))
+        ) == ["mutable-default"] * 3
+
+    def test_immutable_constructor_defaults_ok(self, tmp_path):
+        source = """
+            import decimal
+
+            def f(zero=decimal.Decimal(0), empty=tuple(), label=str()):
                 pass
         """
         assert findings_for(tmp_path, source, rules=("mutable-default",)) == []
