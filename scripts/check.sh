@@ -73,6 +73,12 @@ for cmd in funnel timeline table1; do
     done
 done
 
+# Serve gate: a warm corridor analytics server must survive a seeded
+# concurrent loadgen mix with zero errors, serve /rankings byte-identical
+# to `table1 --format json`, and keep answering after a structured 400
+# (see scripts/serve_smoke.py for the full contract).
+python scripts/serve_smoke.py --requests 50 --clients 4
+
 # Incremental-evolution gate: cursor-based snapshot resolution must be
 # invisible in the output.  timeline (Fig 1 + Fig 2) is diffed against
 # its --no-incremental (full fingerprint rescan) twin on both the paper

@@ -71,9 +71,12 @@ def run_scraping_funnel(
 
     Stage-3 connectivity checks run through a
     :class:`~repro.core.engine.CorridorEngine` (reconstructing the
-    *scraped* license records); pass ``engine`` to share caches with
-    other drivers — license ids fingerprint identically whether records
-    come from the scraper or straight from the database.
+    *scraped* license records); pass ``engine`` to share its geodesic
+    memo and parameterisation with other drivers.  Scraped records lose
+    coordinate precision through the portal's DMS round-trip, so their
+    snapshots live under content-digested cache keys — they reuse the
+    engine's memo but never alias (or overwrite) the database-derived
+    snapshots the ranking/timeline drivers serve.
 
     With ``jobs > 1``, stage 2 batches its name searches through
     :meth:`~repro.uls.scraper.UlsScraper.count_filings` and stage 3 fans

@@ -14,9 +14,15 @@ Subcommands mirror the tool's workflow:
 * ``stability`` — ranking flips under per-tower overhead uncertainty;
 * ``design``    — design a corridor network under a site budget (§6);
 * ``diff``      — what changed on the corridor between two dates;
+* ``search``    — geographic license search (the §2.1 portal query);
+* ``serve``     — run the corridor analytics HTTP service (repro.serve);
+* ``loadgen``   — replay a seeded load profile against the service;
 * ``lint``      — run the project's static-analysis rules (repro.lint).
 
 All analysis commands run on the calibrated ``paper2020`` scenario.
+``table1``/``table3``/``timeline``/``search`` accept
+``--format json``, emitting the exact canonical payload the serve
+endpoints return (parity is pinned in ``tests/test_serve_parity.py``).
 """
 
 from __future__ import annotations
@@ -69,6 +75,14 @@ def _cmd_funnel(args: argparse.Namespace) -> int:
 
 def _cmd_table1(args: argparse.Namespace) -> int:
     scenario = paper2020_scenario()
+    if args.format == "json":
+        from repro.serve.payloads import rankings_payload, render_payload
+
+        payload = rankings_payload(
+            scenario, scenario.engine(), args.date or scenario.snapshot_date
+        )
+        print(render_payload(payload))
+        return 0
     rankings = table1_connected_networks(scenario, args.date, jobs=args.jobs)
     rows = [
         (r.licensee, format_latency_ms(r.latency_ms), r.apa_percent, r.tower_count)
@@ -108,6 +122,14 @@ def _cmd_table2(args: argparse.Namespace) -> int:
 
 def _cmd_table3(args: argparse.Namespace) -> int:
     scenario = paper2020_scenario()
+    if args.format == "json":
+        from repro.serve.payloads import apa_payload, render_payload
+
+        payload = apa_payload(
+            scenario, scenario.engine(), args.date or scenario.snapshot_date
+        )
+        print(render_payload(payload))
+        return 0
     apa_rows = table3_apa(scenario, on_date=args.date, jobs=args.jobs)
     names = list(apa_rows[0].values)
     rows = [
@@ -122,6 +144,12 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
     from repro.core.timeline import dense_date_grid
 
     scenario = paper2020_scenario()
+    if args.format == "json":
+        from repro.serve.payloads import render_payload, timeline_payload
+
+        payload = timeline_payload(scenario, scenario.engine(), args.step)
+        print(render_payload(payload))
+        return 0
     dates = dense_date_grid(args.step) if args.step != "paper" else None
     if args.jobs == 1:
         latencies = fig1_latency_evolution(scenario, dates=dates)
@@ -375,6 +403,73 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_search(args: argparse.Namespace) -> int:
+    from repro.serve.payloads import render_payload, search_payload
+
+    scenario = paper2020_scenario()
+    payload = search_payload(
+        scenario, args.lat, args.lon, args.radius_m, args.active_on
+    )
+    if args.format == "json":
+        print(render_payload(payload))
+        return 0
+    rows = [
+        (
+            row["license_id"],
+            row["callsign"],
+            row["licensee"],
+            row["radio_service"],
+            row["station_class"],
+        )
+        for row in payload["results"]
+    ]
+    print(
+        format_table(
+            ("License", "Callsign", "Licensee", "Service", "Class"),
+            rows,
+            title=f"Licenses within {payload['radius_m']:.0f} m of "
+            f"({payload['center']['latitude']:.4f}, "
+            f"{payload['center']['longitude']:.4f})",
+        )
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import CorridorQueryService, run_server
+
+    service = CorridorQueryService(warm=not args.cold)
+
+    def announce(url: str) -> None:
+        mode = "cold-per-request baseline" if args.cold else "shared warm engine"
+        print(f"serving corridor analytics on {url} ({mode})", flush=True)
+
+    run_server(service, host=args.host, port=args.port, announce=announce)
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.serve import (
+        CorridorQueryService,
+        CorridorServer,
+        LoadProfile,
+        run_load,
+    )
+
+    profile = LoadProfile(
+        requests=args.requests, clients=args.clients, seed=args.seed
+    )
+    if args.url:
+        report = run_load(args.url, profile)
+    else:
+        # No URL: boot an in-process server, load it, tear it down.
+        service = CorridorQueryService(warm=not args.cold)
+        with CorridorServer(service) as server:
+            report = run_load(server.url, profile)
+    print(report.describe())
+    return 1 if report.errors else 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint import (
         lint_paths,
@@ -531,6 +626,13 @@ def build_parser() -> argparse.ArgumentParser:
                 "(default) or a dense monthly/weekly grid walked as "
                 "successive deltas",
             )
+        if name in ("table1", "table3", "timeline"):
+            cmd.add_argument(
+                "--format", choices=("text", "json"), default="text",
+                help="output format: the text table, or the canonical "
+                "JSON payload byte-identical to the serve endpoint's "
+                "response",
+            )
         cmd.set_defaults(func=func)
 
     export = sub.add_parser(
@@ -582,6 +684,57 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("start", type=_parse_date, help="YYYY-MM-DD")
     diff.add_argument("end", type=_parse_date, help="YYYY-MM-DD")
     diff.set_defaults(func=_cmd_diff)
+
+    search = sub.add_parser(
+        "search", help="geographic license search (§2.1 portal query)",
+        parents=[obs_parent],
+    )
+    search.add_argument("--lat", type=float, default=None,
+                        help="center latitude (default: CME)")
+    search.add_argument("--lon", type=float, default=None,
+                        help="center longitude (default: CME)")
+    search.add_argument("--radius-m", type=float, default=None,
+                        help="search radius in meters (default: the "
+                        "portal's CME radius)")
+    search.add_argument("--active-on", type=_parse_date, default=None,
+                        help="restrict to licenses active on this date")
+    search.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json matches the /search endpoint)",
+    )
+    search.set_defaults(func=_cmd_search)
+
+    serve = sub.add_parser(
+        "serve", help="run the corridor analytics HTTP service",
+        parents=[obs_parent],
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8181,
+                       help="listening port (0 picks an ephemeral port)")
+    serve.add_argument(
+        "--cold", action="store_true",
+        help="build a fresh engine per request (the benchmark baseline) "
+        "instead of sharing one warm engine",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen", help="replay a seeded load profile against the service",
+        parents=[obs_parent],
+    )
+    loadgen.add_argument("--url", default=None,
+                         help="server to load (default: boot an "
+                         "in-process server for the run)")
+    loadgen.add_argument("--requests", type=int, default=200)
+    loadgen.add_argument("--clients", type=int, default=4)
+    loadgen.add_argument("--seed", type=int, default=7,
+                         help="request-mix seed (same seed, same sequence)")
+    loadgen.add_argument(
+        "--cold", action="store_true",
+        help="(in-process server only) serve the cold-per-request "
+        "baseline instead of the shared warm engine",
+    )
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     lint = sub.add_parser(
         "lint", help="run the project's static-analysis rules",

@@ -39,6 +39,8 @@ engine wraps it and never changes its semantics.
 from __future__ import annotations
 
 import datetime as dt
+import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable, Iterable, Sequence
@@ -83,6 +85,21 @@ KERNEL_DEFAULT = "columnar"
 _KERNELS = ("columnar", "object")
 
 _MISSING = object()
+
+
+def _license_content_digest(licenses: Iterable[License]) -> str:
+    """A stable digest of full license *content*, not just ids.
+
+    Keys :meth:`CorridorEngine.snapshot_from_licenses` entries for
+    record sets that are not verbatim database rows (scraped licenses
+    differ in the low float bits), so they can never alias a
+    database-derived snapshot.  Dataclass reprs spell out every field
+    deterministically; sorting by id makes the digest order-insensitive.
+    """
+    hasher = hashlib.sha256()
+    for lic in sorted(licenses, key=lambda item: item.license_id):
+        hasher.update(repr(lic).encode("utf-8"))
+    return hasher.hexdigest()
 
 
 @dataclass(frozen=True, slots=True)
@@ -396,6 +413,21 @@ class CorridorEngine:
         self._incremental_resolutions = 0
         self._full_resolutions = 0
         self._delta_ids_total = 0
+        # The engine's caches (LRU dicts, cursors, counters) are not
+        # internally synchronised; concurrent callers serialise through
+        # this lock (see repro.serve.facade.EngineFacade).  Engines are
+        # never pickled — parallel workers rebuild their own — so the
+        # lock never crosses a process boundary.
+        self._lock = threading.RLock()
+
+    def locked(self) -> threading.RLock:
+        """The engine's reentrant guard, for ``with engine.locked():``.
+
+        Every mutation of engine state (snapshot resolution, route
+        lookups, cache transplants) by concurrent callers must run under
+        this lock; single-threaded drivers may ignore it.
+        """
+        return self._lock
 
     # ------------------------------------------------------------------
     # Cache keys
@@ -600,10 +632,20 @@ class CorridorEngine:
 
         For callers whose records do not come straight out of the engine's
         database: the §2.2 funnel reconstructs *scraped* licenses, and
-        entity resolution pools filings across licensees.  The cache key
-        fingerprints the active license ids exactly as :meth:`snapshot`
-        does (ids are unique corridor-wide), under the resolved network
-        name.
+        entity resolution pools filings across licensees.  When every
+        active record is byte-identical to the database's row of the same
+        id (pooled database rows are), the cache key fingerprints the
+        active license ids exactly as :meth:`snapshot` does (ids are
+        unique corridor-wide), under the resolved network name — so those
+        callers share snapshots with the ranking/timeline drivers.
+
+        Records that *differ* from the database's — scraped licenses,
+        whose coordinates lose ~1e-8 deg through the portal's DMS
+        round-trip — get a content-digested key instead.  Sharing the
+        ids-only slot would let the scraped variant overwrite the
+        database-derived snapshot and leak its perturbed floats into
+        every later :meth:`snapshot` result (the byte-parity contracts
+        in scripts/check.sh and the serve tier pin this).
         """
         license_list = list(licenses)
         if licensee is None:
@@ -614,10 +656,21 @@ class CorridorEngine:
                     f"explicitly (found {sorted(names)})"
                 )
             licensee = next(iter(names)) if names else "(empty)"
-        fingerprint = frozenset(
-            lic.license_id for lic in license_list if lic.is_active(on_date)
+        active = [lic for lic in license_list if lic.is_active(on_date)]
+        fingerprint = frozenset(lic.license_id for lic in active)
+        verbatim = all(
+            lic.license_id in self.database
+            and self.database.get(lic.license_id) == lic
+            for lic in active
         )
-        key = (licensee, fingerprint, self.params_key)
+        if verbatim:
+            key = (licensee, fingerprint, self.params_key)
+        else:
+            key = (
+                licensee,
+                (fingerprint, _license_content_digest(active)),
+                self.params_key,
+            )
         with obs.span("engine.snapshot", licensee=licensee, source="licenses"):
             network = self._snapshots.get(key)
             if network is None:

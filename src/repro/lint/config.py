@@ -73,10 +73,12 @@ DEFAULT_UNIT_GROUPS = (
 )
 
 #: Path prefixes allowed to read process timers directly; everything else
-#: must time through ``repro.obs`` spans.
+#: must time through ``repro.obs`` spans.  The load generator measures
+#: client-observed latency — wall time is its product, like benchmarks.
 DEFAULT_OBS_ALLOWED = (
     "src/repro/obs/",
     "benchmarks/",
+    "src/repro/serve/loadgen.py",
 )
 
 #: Path prefixes allowed to construct pools/processes directly; everything
@@ -120,6 +122,7 @@ DEFAULT_SHARED_STATE_ALLOWED = (
     "repro.lint.registry._REGISTRY",
     "repro.obs.spans._STATE",
     "repro.parallel.executor._WORKER_CONTEXT",
+    "repro.serve.server._ACTIVE_SERVER",
 )
 
 #: The import layering, lowest tier first.  A module may import same-tier
@@ -136,6 +139,7 @@ DEFAULT_LAYERS = (
     ("repro.metrics",),
     ("repro.viz",),
     ("repro.analysis", "repro.design"),
+    ("repro.serve",),
     ("repro.cli", "repro.__main__"),
 )
 

@@ -25,6 +25,7 @@ dimensions (licensee, endpoints, cache disposition).
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Union
@@ -48,17 +49,41 @@ class SpanRecord:
 
 
 class _ObsState:
-    """The process-local observation session (one at a time)."""
+    """The process-local observation session (one at a time).
 
-    __slots__ = ("enabled", "registry", "sinks", "stack", "next_id", "t0_ns")
+    Safe to share across threads: the span stack (parent/depth linkage)
+    is thread-local, so each handler thread of a ``ThreadingHTTPServer``
+    grows its own span tree, while span ids, the metrics registry, and
+    sink emission are serialised by ``lock``.  Single-threaded sessions
+    behave exactly as before — ids are dense, children exit before
+    parents — and the disabled path stays one attribute check.
+    """
+
+    __slots__ = ("enabled", "registry", "sinks", "next_id", "t0_ns", "lock", "_local")
 
     def __init__(self) -> None:
         self.enabled = False
         self.registry: MetricsRegistry | None = None
         self.sinks: tuple = ()
-        self.stack: list[_LiveSpan] = []
         self.next_id = 1
         self.t0_ns = 0
+        self.lock = threading.Lock()
+        self._local = threading.local()
+
+    @property
+    def stack(self) -> list:
+        """This thread's open-span stack (created on first touch)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @stack.setter
+    def stack(self, value: list) -> None:
+        # Session boundaries (enable/disable) reset *every* thread's
+        # stack by dropping the whole thread-local namespace.
+        self._local = threading.local()
+        self._local.stack = list(value)
 
 
 _STATE = _ObsState()
@@ -93,11 +118,13 @@ class _LiveSpan:
 
     def __enter__(self) -> "_LiveSpan":
         state = _STATE
-        self.span_id = state.next_id
-        state.next_id += 1
-        self.parent_id = state.stack[-1].span_id if state.stack else None
-        self.depth = len(state.stack)
-        state.stack.append(self)
+        with state.lock:
+            self.span_id = state.next_id
+            state.next_id += 1
+        stack = state.stack
+        self.parent_id = stack[-1].span_id if stack else None
+        self.depth = len(stack)
+        stack.append(self)
         self.start_ns = time.perf_counter_ns()
         return self
 
@@ -109,8 +136,9 @@ class _LiveSpan:
     def __exit__(self, exc_type, exc, tb) -> bool:
         end_ns = time.perf_counter_ns()
         state = _STATE
-        if state.stack and state.stack[-1] is self:
-            state.stack.pop()
+        stack = state.stack
+        if stack and stack[-1] is self:
+            stack.pop()
         if not state.enabled:  # disable() raced the span: drop it
             return False
         if exc_type is not None:
@@ -124,11 +152,15 @@ class _LiveSpan:
             duration_us=(end_ns - self.start_ns) / 1000.0,
             attrs=tuple(self.attrs.items()),
         )
-        state.registry.histogram(f"span.{self.name}.us").observe(
-            record.duration_us
-        )
-        for sink in state.sinks:
-            sink.emit(record)
+        with state.lock:
+            registry = state.registry
+            if registry is None:  # disable() raced the span: drop it
+                return False
+            registry.histogram(f"span.{self.name}.us").observe(
+                record.duration_us
+            )
+            for sink in state.sinks:
+                sink.emit(record)
         return False
 
 
@@ -145,20 +177,32 @@ def span(name: str, **attrs: object) -> Union[_NoopSpan, _LiveSpan]:
 
 def count(name: str, amount: int = 1) -> None:
     """Increment counter ``name`` when observation is enabled."""
-    if _STATE.enabled:
-        _STATE.registry.counter(name).inc(amount)
+    state = _STATE
+    if state.enabled:
+        with state.lock:
+            registry = state.registry
+            if registry is not None:
+                registry.counter(name).inc(amount)
 
 
 def observe(name: str, value: Number) -> None:
     """Observe ``value`` into histogram ``name`` when enabled."""
-    if _STATE.enabled:
-        _STATE.registry.histogram(name).observe(value)
+    state = _STATE
+    if state.enabled:
+        with state.lock:
+            registry = state.registry
+            if registry is not None:
+                registry.histogram(name).observe(value)
 
 
 def set_gauge(name: str, value: Number) -> None:
     """Set gauge ``name`` to ``value`` when enabled."""
-    if _STATE.enabled:
-        _STATE.registry.gauge(name).set(value)
+    state = _STATE
+    if state.enabled:
+        with state.lock:
+            registry = state.registry
+            if registry is not None:
+                registry.gauge(name).set(value)
 
 
 def is_enabled() -> bool:

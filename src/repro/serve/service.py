@@ -1,0 +1,272 @@
+"""The corridor query service: validated endpoints over the facade.
+
+:class:`CorridorQueryService` is the transport-free core of the server
+— it maps ``(path, query params)`` to a JSON payload, with every
+engine-touching computation routed through the
+:class:`~repro.serve.facade.EngineFacade` (lock-scoped, coalesced).
+The HTTP layer (:mod:`repro.serve.server`) is a thin adapter; tests
+exercise the service directly where the socket adds nothing.
+
+Faults are values, not stack traces: every rejected request raises a
+:class:`ServiceError` carrying an HTTP status and a machine-readable
+code, rendered as ``{"error": {"code": ..., "message": ...}}``.  An
+unexpected handler exception becomes a structured 500 and the service
+keeps serving.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from typing import Callable
+from urllib.parse import parse_qsl, urlsplit
+
+from repro import obs
+from repro.core.engine import CorridorEngine
+from repro.serve import payloads
+from repro.serve.facade import EngineFacade
+from repro.serve.payloads import DATE_MAX, DATE_MIN, render_payload
+from repro.synth.scenario import Scenario, paper2020_scenario
+
+
+class ServiceError(Exception):
+    """A structured request failure (HTTP status + stable error code)."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+    def payload(self) -> dict:
+        return {"error": {"code": self.code, "message": str(self)}}
+
+
+# ----------------------------------------------------------------------
+# Parameter parsing/validation helpers
+# ----------------------------------------------------------------------
+
+
+def parse_request(url: str) -> tuple[str, dict[str, str]]:
+    """Split a request target into (path, params); reject duplicates."""
+    parts = urlsplit(url)
+    params: dict[str, str] = {}
+    for key, value in parse_qsl(parts.query, keep_blank_values=True):
+        if key in params:
+            raise ServiceError(
+                400, "duplicate-param", f"query parameter repeated: {key!r}"
+            )
+        params[key] = value
+    return parts.path, params
+
+
+def _check_params(params: dict[str, str], allowed: tuple[str, ...]) -> None:
+    unknown = sorted(set(params) - set(allowed))
+    if unknown:
+        raise ServiceError(
+            400,
+            "unknown-param",
+            f"unknown query parameter(s) {unknown}; "
+            f"expected a subset of {sorted(allowed)}",
+        )
+
+
+def _date_param(
+    params: dict[str, str], name: str, default: dt.date | None
+) -> dt.date | None:
+    text = params.get(name)
+    if text is None:
+        date = default
+    else:
+        try:
+            date = dt.date.fromisoformat(text)
+        except ValueError:
+            raise ServiceError(
+                400, "bad-date", f"{name!r} is not a YYYY-MM-DD date: {text!r}"
+            ) from None
+    if date is not None and not (DATE_MIN <= date <= DATE_MAX):
+        raise ServiceError(
+            400,
+            "date-out-of-range",
+            f"{name!r} must fall within [{DATE_MIN}, {DATE_MAX}], "
+            f"got {date.isoformat()}",
+        )
+    return date
+
+
+def _float_param(
+    params: dict[str, str], name: str, default: float | None
+) -> float | None:
+    text = params.get(name)
+    if text is None:
+        return default
+    try:
+        value = float(text)
+    except ValueError:
+        raise ServiceError(
+            400, "bad-number", f"{name!r} is not a number: {text!r}"
+        ) from None
+    if value != value or value in (float("inf"), float("-inf")):
+        raise ServiceError(400, "bad-number", f"{name!r} must be finite")
+    return value
+
+
+class CorridorQueryService:
+    """Route validated queries to payload builders over one warm engine.
+
+    Parameters
+    ----------
+    scenario:
+        The corridor scenario served (defaults to ``paper2020``).
+    engine:
+        The shared warm engine behind the facade; defaults to the
+        scenario's shared default engine.
+    warm:
+        ``False`` builds a *fresh* engine for every request — the
+        cold-per-request baseline the serve benchmark compares against
+        (``hftnetview serve --cold``).  Warm is the production mode.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario | None = None,
+        engine: CorridorEngine | None = None,
+        warm: bool = True,
+    ) -> None:
+        self.scenario = scenario if scenario is not None else paper2020_scenario()
+        self.warm = warm
+        shared = engine if engine is not None else self.scenario.engine()
+        self.facade = EngineFacade(shared)
+        self.routes: dict[str, Callable[[CorridorEngine, dict], dict]] = {
+            "/rankings": self._rankings,
+            "/timeline": self._timeline,
+            "/apa": self._apa,
+            "/search": self._search,
+            "/map": self._map,
+        }
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def handle_http(self, url: str) -> tuple[int, bytes]:
+        """One request target -> (status, canonical JSON body bytes)."""
+        status, payload = self.handle_url(url)
+        return status, (render_payload(payload) + "\n").encode("utf-8")
+
+    def handle_url(self, url: str) -> tuple[int, dict]:
+        """One request target -> (status, payload dict); never raises."""
+        self.facade.enter_request()
+        try:
+            path, params = parse_request(url)
+            return 200, self.handle(path, params)
+        except ServiceError as error:
+            self.facade.note_error()
+            return error.status, error.payload()
+        except Exception as error:  # lint: disable=broad-except (server boundary: every handler fault must surface as structured JSON on the socket, never a traceback or a dead connection)
+            self.facade.note_error()
+            return 500, {
+                "error": {
+                    "code": "internal",
+                    "message": f"{type(error).__name__}: {error}",
+                }
+            }
+        finally:
+            self.facade.exit_request()
+
+    def handle(self, path: str, params: dict[str, str]) -> dict:
+        """Dispatch a parsed request; raises :class:`ServiceError`."""
+        if path == "/healthz":
+            _check_params(params, ())
+            return {"status": "ok", "warm": self.warm}
+        if path == "/stats":
+            _check_params(params, ())
+            return self.facade.describe()
+        handler = self.routes.get(path)
+        if handler is None:
+            raise ServiceError(
+                404,
+                "unknown-endpoint",
+                f"no such endpoint: {path!r}; expected one of "
+                f"{sorted(self.routes) + ['/healthz', '/stats']}",
+            )
+        key = (path, tuple(sorted(params.items())))
+        with obs.span("serve.request", endpoint=path):
+            obs.count("serve.request" + path.replace("/", "."))
+            return self.facade.coalesced(
+                key, lambda: handler(self._engine(), params)
+            )
+
+    def _engine(self) -> CorridorEngine:
+        if self.warm:
+            return self.facade.engine
+        # Cold baseline: a private engine per request, empty caches.
+        return CorridorEngine(self.scenario.database, self.scenario.corridor)
+
+    # ------------------------------------------------------------------
+    # Endpoint handlers (validated params -> payload builders)
+    # ------------------------------------------------------------------
+
+    def _licensee_param(
+        self, params: dict[str, str], default: str | None = None
+    ) -> str | None:
+        name = params.get("licensee", default)
+        if name is not None and name not in self.scenario.database.licensee_names():
+            raise ServiceError(404, "unknown-licensee", f"unknown licensee: {name!r}")
+        return name
+
+    def _site_param(self, params: dict[str, str], name: str, default: str) -> str:
+        site = params.get(name, default)
+        known = sorted({s for path in self.scenario.corridor.paths for s in path})
+        if site not in known:
+            raise ServiceError(
+                400, "unknown-site", f"{name!r} must be one of {known}, got {site!r}"
+            )
+        return site
+
+    def _rankings(self, engine: CorridorEngine, params: dict[str, str]) -> dict:
+        _check_params(params, ("date", "source", "target"))
+        date = _date_param(params, "date", self.scenario.snapshot_date)
+        source = self._site_param(params, "source", "CME")
+        target = self._site_param(params, "target", "NY4")
+        return payloads.rankings_payload(self.scenario, engine, date, source, target)
+
+    def _timeline(self, engine: CorridorEngine, params: dict[str, str]) -> dict:
+        _check_params(params, ("step", "licensee"))
+        step = params.get("step", "paper")
+        if step not in ("paper", "monthly", "weekly"):
+            raise ServiceError(
+                400,
+                "bad-step",
+                f"'step' must be one of ['paper', 'monthly', 'weekly'], got {step!r}",
+            )
+        licensee = self._licensee_param(params)
+        names = (licensee,) if licensee else None
+        return payloads.timeline_payload(self.scenario, engine, step, names)
+
+    def _apa(self, engine: CorridorEngine, params: dict[str, str]) -> dict:
+        _check_params(params, ("date", "licensee"))
+        date = _date_param(params, "date", self.scenario.snapshot_date)
+        licensee = self._licensee_param(params)
+        names = (licensee,) if licensee else payloads.APA_DEFAULT_LICENSEES
+        return payloads.apa_payload(self.scenario, engine, date, names)
+
+    def _search(self, engine: CorridorEngine, params: dict[str, str]) -> dict:
+        _check_params(params, ("lat", "lon", "radius_m", "active_on"))
+        latitude = _float_param(params, "lat", None)
+        longitude = _float_param(params, "lon", None)
+        if latitude is not None and not -90.0 <= latitude <= 90.0:
+            raise ServiceError(400, "bad-number", "'lat' must be in [-90, 90]")
+        if longitude is not None and not -180.0 <= longitude <= 180.0:
+            raise ServiceError(400, "bad-number", "'lon' must be in [-180, 180]")
+        radius_m = _float_param(params, "radius_m", None)
+        if radius_m is not None and radius_m <= 0:
+            raise ServiceError(400, "bad-number", "'radius_m' must be positive")
+        active_on = _date_param(params, "active_on", None)
+        return payloads.search_payload(
+            self.scenario, latitude, longitude, radius_m, active_on
+        )
+
+    def _map(self, engine: CorridorEngine, params: dict[str, str]) -> dict:
+        _check_params(params, ("licensee", "date"))
+        licensee = self._licensee_param(params, payloads.MAP_DEFAULT_LICENSEE)
+        date = _date_param(params, "date", self.scenario.snapshot_date)
+        return payloads.map_payload(self.scenario, engine, licensee, date)

@@ -72,6 +72,23 @@ def wh_network(engine, snapshot_date):
     return engine.snapshot("Webline Holdings", snapshot_date)
 
 
+@pytest.fixture(scope="session")
+def serve_service(scenario, engine):
+    """One warm query service over the session's shared engine."""
+    from repro.serve import CorridorQueryService
+
+    return CorridorQueryService(scenario=scenario, engine=engine)
+
+
+@pytest.fixture(scope="session")
+def serve_server(serve_service):
+    """A live threaded HTTP server on an ephemeral localhost port."""
+    from repro.serve import CorridorServer
+
+    with CorridorServer(serve_service) as server:
+        yield server
+
+
 def make_license(
     license_id: str = "L0001",
     licensee: str = "Test Networks LLC",

@@ -145,6 +145,56 @@ def test_snapshot_cache_hits_by_active_fingerprint(scenario):
     assert engine.stats.snapshot.misses == 2
 
 
+def test_external_license_sets_never_alias_database_snapshots(scenario):
+    """snapshot_from_licenses only shares slots for verbatim rows.
+
+    A scraped record set (coordinates perturbed by the portal's DMS
+    round-trip) must not overwrite the database-derived snapshot under
+    the ids-only fingerprint — that would leak its floats into every
+    later snapshot()/rankings result (the serve-tier parity bug).
+    """
+    import dataclasses
+
+    engine = CorridorEngine(scenario.database, scenario.corridor)
+    date = dt.date(2020, 4, 1)
+    records = scenario.database.licenses_for("New Line Networks")
+
+    # Verbatim database rows share the ids-only slot with snapshot().
+    via_records = engine.snapshot_from_licenses(records, date)
+    assert engine.stats.snapshot.misses == 1
+    baseline = engine.snapshot("New Line Networks", date)
+    assert engine.stats.snapshot.hits == 1
+    assert baseline.towers == via_records.towers
+
+    # Nudge one tower by 1e-9 deg — the scale of the scraper's DMS
+    # precision loss.  Same license ids, different content.
+    def perturb(lic):
+        number, location = min(lic.locations.items())
+        moved = dataclasses.replace(
+            location,
+            point=GeoPoint(
+                location.point.latitude + 1e-9, location.point.longitude
+            ),
+        )
+        return dataclasses.replace(
+            lic, locations={**lic.locations, number: moved}
+        )
+
+    target = next(lic for lic in records if lic.is_active(date))
+    perturbed = [
+        perturb(lic) if lic is target else lic for lic in records
+    ]
+    via_perturbed = engine.snapshot_from_licenses(perturbed, date)
+    assert engine.stats.snapshot.misses == 2  # content-digested key: cold
+    assert via_perturbed.towers != baseline.towers
+
+    # The database-derived snapshot survives untouched, and the
+    # perturbed set reuses its own digested slot on a second call.
+    assert engine.snapshot("New Line Networks", date).towers == baseline.towers
+    engine.snapshot_from_licenses(perturbed, date)
+    assert engine.stats.snapshot.misses == 2
+
+
 def test_route_cache_and_none_routes(scenario):
     engine = CorridorEngine(scenario.database, scenario.corridor)
     date = dt.date(2020, 4, 1)

@@ -516,6 +516,111 @@ class TestLayeringRule:
         assert "import cycle" in result.findings[0].message
 
 
+class TestServeTierFixtures:
+    """The serve tier (PR 8): above the analysis tiers, below the CLI."""
+
+    LAYERS = {
+        "layering": {
+            "layers": [["pkg.analysis"], ["pkg.serve"], ["pkg.cli"]]
+        }
+    }
+
+    def test_serve_importing_cli_flagged(self, tmp_path):
+        result = run_flow_lint(
+            tmp_path,
+            {
+                "src/pkg/__init__.py": "",
+                "src/pkg/analysis.py": "",
+                "src/pkg/serve.py": "from pkg import cli\n",
+                "src/pkg/cli.py": "",
+            },
+            enabled=("layering",),
+            **self.LAYERS,
+        )
+        assert [f.rule for f in result.findings] == ["layering"]
+        assert result.findings[0].path == "src/pkg/serve.py"
+        assert "pkg.cli" in result.findings[0].message
+
+    def test_cli_embeds_serve_and_serve_uses_analysis(self, tmp_path):
+        result = run_flow_lint(
+            tmp_path,
+            {
+                "src/pkg/__init__.py": "",
+                "src/pkg/analysis.py": "",
+                "src/pkg/serve.py": "from pkg import analysis\n",
+                "src/pkg/cli.py": "from pkg import serve\n",
+            },
+            enabled=("layering",),
+            **self.LAYERS,
+        )
+        assert result.findings == []
+
+    SERVER_STATE_PKG = {
+        "src/pkg/__init__.py": "",
+        "src/pkg/server.py": """
+            _ACTIVE_SERVER = None
+
+            def run_server():
+                global _ACTIVE_SERVER
+                _ACTIVE_SERVER = object()
+            """,
+        "src/pkg/cli.py": """
+            from pkg.server import run_server
+
+            def _cmd_serve():
+                run_server()
+            """,
+    }
+
+    def test_server_session_global_needs_allowlisting(self, tmp_path):
+        result = run_flow_lint(
+            tmp_path,
+            self.SERVER_STATE_PKG,
+            enabled=("shared-state",),
+            **{"shared-state": {"roots": ["pkg.cli._cmd_*"], "allowed": []}},
+        )
+        assert [f.rule for f in result.findings] == ["shared-state"]
+        assert "pkg.server._ACTIVE_SERVER" in result.findings[0].message
+        assert "pkg.cli._cmd_serve" in result.findings[0].message
+
+    def test_allowlisted_server_session_global_ok(self, tmp_path):
+        result = run_flow_lint(
+            tmp_path,
+            self.SERVER_STATE_PKG,
+            enabled=("shared-state",),
+            **{
+                "shared-state": {
+                    "roots": ["pkg.cli._cmd_*"],
+                    "allowed": ["pkg.server._ACTIVE_SERVER"],
+                }
+            },
+        )
+        assert result.findings == []
+
+    def test_repo_config_wires_the_serve_tier(self):
+        from repro.lint.config import (
+            DEFAULT_LAYERS,
+            DEFAULT_SHARED_STATE_ALLOWED,
+            load_config,
+        )
+
+        tiers = list(DEFAULT_LAYERS)
+        serve_index = tiers.index(("repro.serve",))
+        cli_index = next(
+            index for index, tier in enumerate(tiers) if "repro.cli" in tier
+        )
+        assert serve_index == cli_index - 1
+        assert "repro.serve.server._ACTIVE_SERVER" in DEFAULT_SHARED_STATE_ALLOWED
+
+        # pyproject.toml mirrors the defaults, entry for entry.
+        config = load_config(root=REPO_ROOT)
+        assert ("repro.serve",) in tuple(config.layering_layers())
+        assert (
+            "repro.serve.server._ACTIVE_SERVER" in config.shared_state_allowed()
+        )
+        assert "src/repro/serve/loadgen.py" in config.obs_allowed_paths()
+
+
 class TestDeadCodeRule:
     def test_unreachable_private_function_flagged(self, tmp_path):
         result = run_flow_lint(

@@ -1,0 +1,178 @@
+"""Concurrency guarantees of the serve facade over one shared engine.
+
+Three nets, per the serve design (DESIGN.md §13):
+
+* **Single-build coalescing** — N threads barrier-released on the same
+  cold (date, params) key observe exactly one ``engine.snapshot.full``
+  resolution and one ``engine.snapshot.miss`` build (obs counters), and
+  byte-identical payloads.
+* **Thread/serial equivalence** — a hypothesis-driven fleet of random
+  timeline/ranking/APA interleavings produces responses element-wise
+  identical to a fresh serial engine, and leaves the engine's
+  ``CacheStats`` in a state reachable by some serial order (same builds,
+  no more lookups).
+* **Error coalescing** — followers behind a failing leader get the
+  leader's error, and the in-flight slot is released for later requests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.core.engine import CorridorEngine
+from repro.serve import CorridorQueryService, ServiceError
+from repro.serve.payloads import render_payload
+
+
+def fresh_service(scenario) -> CorridorQueryService:
+    engine = CorridorEngine(scenario.database, scenario.corridor)
+    return CorridorQueryService(scenario=scenario, engine=engine)
+
+
+def run_threads(service, urls: list[str]) -> list[tuple[int, dict]]:
+    """Fire one thread per url, barrier-released; return results in order."""
+    barrier = threading.Barrier(len(urls))
+    results: list = [None] * len(urls)
+
+    def worker(index: int, url: str) -> None:
+        barrier.wait()
+        results[index] = service.handle_url(url)
+
+    threads = [
+        threading.Thread(target=worker, args=(index, url))
+        for index, url in enumerate(urls)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return results
+
+
+class TestCoalescingSingleBuild:
+    N = 6
+
+    def test_identical_cold_misses_build_once(self, scenario):
+        service = fresh_service(scenario)
+        facade = service.facade
+        url = "/map?date=2018-05-01"
+
+        # Gate the leader's computation until every other thread has
+        # coalesced behind it, so the single-leader case is deterministic
+        # rather than a race the fast path usually wins.
+        original = service.routes["/map"]
+
+        def gated(engine, params):
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                with facade._stats_lock:
+                    if facade._followers >= self.N - 1:
+                        break
+                time.sleep(0.001)
+            return original(engine, params)
+
+        service.routes["/map"] = gated
+
+        with obs.capture() as cap:
+            results = run_threads(service, [url] * self.N)
+
+        assert {status for status, _ in results} == {200}
+        bodies = {render_payload(payload) for _, payload in results}
+        assert len(bodies) == 1  # byte-identical payloads for everyone
+
+        counters = cap.counters()
+        # Exactly one cold resolution and one cold build for N requests.
+        assert counters.get("engine.snapshot.full", 0) == 1
+        assert counters.get("engine.snapshot.miss", 0) == 1
+        assert counters.get("serve.coalesce.leader") == 1
+        assert counters.get("serve.coalesce.follower") == self.N - 1
+        assert counters.get("serve.request.map") == self.N
+
+        stats = facade.describe()
+        assert stats["facade"]["requests"] == self.N
+        assert stats["facade"]["coalesce_follower"] == self.N - 1
+
+    def test_coalesced_error_reaches_all_followers(self, scenario, engine):
+        service = CorridorQueryService(scenario=scenario, engine=engine)
+        facade = service.facade
+        n = 4
+
+        def failing(engine, params):
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                with facade._stats_lock:
+                    if facade._followers >= n - 1:
+                        break
+                time.sleep(0.001)
+            raise ServiceError(503, "overloaded", "synthetic failure")
+
+        service.routes["/fail"] = failing
+        results = run_threads(service, ["/fail"] * n)
+        assert [status for status, _ in results] == [503] * n
+        assert {payload["error"]["code"] for _, payload in results} == {
+            "overloaded"
+        }
+        # The in-flight slot was released: a later request recomputes
+        # (and fails afresh) rather than deadlocking on a dead entry.
+        assert not facade._inflight
+        status, payload = service.handle_url("/fail")
+        assert status == 503
+
+
+REQUEST_POOL = (
+    "/rankings?date=2016-06-01",
+    "/rankings?date=2019-01-01",
+    "/apa",
+    "/apa?date=2017-03-01",
+    "/timeline?licensee=New%20Line%20Networks",
+    "/timeline?licensee=Webline%20Holdings",
+)
+
+
+class TestThreadedMatchesSerial:
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        picks=st.lists(
+            st.integers(min_value=0, max_value=len(REQUEST_POOL) - 1),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_random_interleavings_are_serializable(self, scenario, picks):
+        urls = [REQUEST_POOL[i] for i in picks]
+
+        threaded = fresh_service(scenario)
+        threaded_results = run_threads(threaded, urls)
+
+        serial = fresh_service(scenario)
+        serial_results = [serial.handle_url(url) for url in urls]
+
+        # Element-wise identical responses, byte for byte.
+        for (t_status, t_payload), (s_status, s_payload) in zip(
+            threaded_results, serial_results
+        ):
+            assert t_status == s_status == 200
+            assert render_payload(t_payload) == render_payload(s_payload)
+
+        # CacheStats lands in a state reachable by some serial order:
+        # the same set of snapshots was built (misses and final cache
+        # size are order-invariant), and coalescing may only have
+        # *removed* lookups relative to the serial replay.
+        t_stats = threaded.facade.engine.stats
+        s_stats = serial.facade.engine.stats
+        assert t_stats.snapshot.misses == s_stats.snapshot.misses
+        assert t_stats.snapshot.size == s_stats.snapshot.size
+        assert t_stats.snapshot.lookups <= s_stats.snapshot.lookups
+        assert (
+            t_stats.snapshot_full + t_stats.snapshot_incremental
+            <= s_stats.snapshot_full + s_stats.snapshot_incremental
+        )
