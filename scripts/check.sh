@@ -92,3 +92,27 @@ for step in "" "--step monthly"; do
         fi
     done
 done
+
+# Persistent-store gate: the on-disk cache store (repro.store) may only
+# change speed, never bytes.  For each driver and fan-out width, three
+# runs must agree: truly cold (no store), cold-with-store (first
+# --cache-dir run, populating), and warm (second --cache-dir run,
+# loading what the first published).  Each command gets its own store
+# so a cache populated by one driver can't mask another's cold path.
+store_dir=".repro-store-check"
+for cmd in funnel timeline table1; do
+    for jobs in 1 4; do
+        rm -rf "$store_dir"
+        if ! diff <(python -m repro "$cmd" --jobs "$jobs") \
+                  <(python -m repro "$cmd" --jobs "$jobs" --cache-dir "$store_dir"); then
+            echo "check.sh: '$cmd' --jobs $jobs differs between no-store and cold-with-store" >&2
+            exit 1
+        fi
+        if ! diff <(python -m repro "$cmd" --jobs "$jobs") \
+                  <(python -m repro "$cmd" --jobs "$jobs" --cache-dir "$store_dir"); then
+            echo "check.sh: '$cmd' --jobs $jobs differs between no-store and store-warmed" >&2
+            exit 1
+        fi
+    done
+done
+rm -rf "$store_dir"

@@ -17,6 +17,7 @@ Subcommands mirror the tool's workflow:
 * ``search``    — geographic license search (the §2.1 portal query);
 * ``serve``     — run the corridor analytics HTTP service (repro.serve);
 * ``loadgen``   — replay a seeded load profile against the service;
+* ``cache``     — inspect or maintain the on-disk cache store (repro.store);
 * ``lint``      — run the project's static-analysis rules (repro.lint).
 
 All analysis commands run on the calibrated ``paper2020`` scenario.
@@ -29,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import datetime as dt
+import os
 import sys
 from pathlib import Path
 
@@ -435,6 +437,60 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """``cache {stat,gc,clear}`` — inspect / bound / empty the store."""
+    import time
+
+    from repro.store import CacheStore
+
+    store = CacheStore(args.cache_dir)
+    if args.action == "stat":
+        entries = store.stat()
+        rows = [
+            (
+                entry.fingerprint[:16],
+                f"{entry.size_bytes:,}",
+                dt.datetime.fromtimestamp(
+                    entry.mtime_s, tz=dt.timezone.utc
+                ).strftime("%Y-%m-%d %H:%M:%S"),
+            )
+            for entry in entries
+        ]
+        print(
+            format_table(
+                ("Fingerprint", "Bytes", "Modified (UTC)"),
+                rows,
+                title=f"Cache store at {store.cache_dir} "
+                f"({len(entries)} entries, "
+                f"{sum(e.size_bytes for e in entries):,} bytes)",
+            )
+        )
+        return 0
+    if args.action == "gc":
+        if args.max_bytes is None and args.max_age_days is None:
+            print(
+                "cache gc: pass --max-bytes and/or --max-age-days",
+                file=sys.stderr,
+            )
+            return 2
+        max_age_s = None
+        now_s = None
+        if args.max_age_days is not None:
+            max_age_s = args.max_age_days * 86400.0
+            # Entry ages are mtimes, so the bound is inherently relative
+            # to the machine clock; no analysis output ever sees this
+            # value.  The store itself takes `now_s` as a parameter and
+            # stays clock-free.
+            now_s = time.time()  # lint: disable=wall-clock (gc age bounds compare file mtimes against the machine clock by design; never reaches analysis output)
+        removed = store.gc(max_bytes=args.max_bytes, max_age_s=max_age_s, now_s=now_s)
+        freed = sum(entry.size_bytes for entry in removed)
+        print(f"removed {len(removed)} entries ({freed:,} bytes)")
+        return 0
+    count = store.clear()
+    print(f"cleared {count} entries from {store.cache_dir}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import CorridorQueryService, run_server
 
@@ -590,9 +646,24 @@ def _obs_parent_parser() -> argparse.ArgumentParser:
         "license store, the default) or 'object' (per-object stitching); "
         "output is byte-identical either way",
     )
+    persistence = parent.add_argument_group("persistence")
+    persistence.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist engine caches to a content-addressed on-disk store "
+        "under DIR (auto-load on start, checkpoint on exit); also "
+        "honoured via $REPRO_CACHE_DIR, defaulting to ~/.cache/repro",
+    )
+    persistence.add_argument(
+        "--no-store", action="store_true",
+        help="disable the on-disk store even if $REPRO_CACHE_DIR is set",
+    )
     return parent
 
 
+# lint: disable=transitive-determinism (the `cache gc` subcommand's age
+# bound compares entry mtimes against the machine clock by design; that
+# single pragma'd time.time() read in _cmd_cache is store maintenance and
+# never shapes analysis output — every analysis subcommand stays clock-free)
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="hftnetview",
@@ -736,6 +807,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadgen.set_defaults(func=_cmd_loadgen)
 
+    cache = sub.add_parser(
+        "cache", help="inspect or maintain the on-disk cache store",
+        parents=[obs_parent],
+    )
+    cache.add_argument(
+        "action", choices=("stat", "gc", "clear"),
+        help="stat: list entries; gc: remove entries beyond size/age "
+        "bounds; clear: remove everything (quarantine included)",
+    )
+    cache.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="(gc) keep only the newest entries totalling at most N bytes",
+    )
+    cache.add_argument(
+        "--max-age-days", type=float, default=None, metavar="D",
+        help="(gc) remove entries not modified in the last D days",
+    )
+    cache.set_defaults(func=_cmd_cache)
+
     lint = sub.add_parser(
         "lint", help="run the project's static-analysis rules",
         parents=[obs_parent],
@@ -810,6 +900,20 @@ def main(argv: list[str] | None = None) -> int:
         from repro.core import engine as engine_mod
 
         engine_mod.KERNEL_DEFAULT = args.kernel
+    store = None
+    if args.command != "cache" and not getattr(args, "no_store", False):
+        cache_dir = getattr(args, "cache_dir", None)
+        if cache_dir is not None or os.environ.get("REPRO_CACHE_DIR"):
+            # Same pre-construction window again: every engine built
+            # during the command (the scenario's shared default, serve's
+            # warm engine, even ad-hoc ones) attaches to the store and
+            # auto-loads its entry; the finally block below checkpoints
+            # them all back.
+            from repro.core import engine as engine_mod
+            from repro.store import CacheStore
+
+            store = CacheStore(cache_dir)
+            engine_mod.STORE_DEFAULT = store
     trace_path = getattr(args, "trace", None)
     want_metrics = getattr(args, "metrics", False)
     trace_sink = None
@@ -824,6 +928,14 @@ def main(argv: list[str] | None = None) -> int:
     try:
         status = args.func(args)
     finally:
+        if store is not None:
+            # Persist whatever the command learned, then restore the
+            # module default so in-process callers (tests invoking
+            # main() repeatedly) stay hermetic.
+            store.checkpoint_all()
+            from repro.core import engine as engine_mod
+
+            engine_mod.STORE_DEFAULT = None
         if trace_path or want_metrics:
             registry = obs.disable()
             if trace_sink is not None:

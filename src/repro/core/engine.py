@@ -82,6 +82,15 @@ INCREMENTAL_DEFAULT = True
 #: ``--kernel`` flips this before any engine is built.
 KERNEL_DEFAULT = "columnar"
 
+#: Process-wide default persistent store for :class:`CorridorEngine`'s
+#: ``store`` parameter.  Holds a :class:`repro.store.CacheStore` (or any
+#: object with ``attach``/``load_into``/``save_from`` — the engine never
+#: imports :mod:`repro.store`, keeping the layering DAG acyclic) or
+#: ``None``.  The CLI's ``--cache-dir`` sets this before any engine is
+#: built, so every engine constructed during a command auto-loads from
+#: and checkpoints to the on-disk store.
+STORE_DEFAULT = None
+
 _KERNELS = ("columnar", "object")
 
 _MISSING = object()
@@ -341,6 +350,13 @@ class CorridorEngine:
         :data:`KERNEL_DEFAULT`.  Both kernels produce byte-identical
         networks, so the choice affects cold-path speed only and is not
         part of any cache key.
+    store:
+        A persistent on-disk cache store (:class:`repro.store
+        .CacheStore`).  ``None`` defers to the process-wide
+        :data:`STORE_DEFAULT` (itself ``None`` unless the CLI engaged a
+        store); ``False`` opts out explicitly.  With a store attached the
+        engine auto-loads a matching entry on construction and
+        :meth:`checkpoint` persists its caches back.
     """
 
     def __init__(
@@ -358,6 +374,7 @@ class CorridorEngine:
         geodesic_memo_size: int = DEFAULT_MEMO_SIZE,
         incremental: bool | None = None,
         kernel: str | None = None,
+        store: object | None = None,
     ) -> None:
         params_given = any(
             value is not None
@@ -419,6 +436,13 @@ class CorridorEngine:
         # never pickled — parallel workers rebuild their own — so the
         # lock never crosses a process boundary.
         self._lock = threading.RLock()
+        if store is None:
+            store = STORE_DEFAULT
+        elif store is False:
+            store = None
+        self.store = store
+        if self.store is not None:
+            self.store.attach(self)
 
     def locked(self) -> threading.RLock:
         """The engine's reentrant guard, for ``with engine.locked():``.
@@ -921,6 +945,20 @@ class CorridorEngine:
             self._routes.put(key, route)
         self._install_cursors(export.cursors)
 
+    def checkpoint(self):
+        """Persist this engine's cache contents to its attached store.
+
+        A no-op (returning ``None``) without a store; otherwise returns
+        the path the store published the entry at.  Because an attached
+        engine loaded the store's entry on construction, its caches are a
+        superset of the entry (modulo LRU eviction), so a checkpoint
+        never loses previously persisted state.
+        """
+        if self.store is None:
+            return None
+        with self._lock:
+            return self.store.save_from(self)
+
     def cache_baseline(self) -> EngineCacheBaseline:
         """A point-in-time marker for :meth:`collect_cache_delta`."""
         return EngineCacheBaseline(
@@ -1027,6 +1065,7 @@ class CorridorEngine:
             geodesic_memo_size=self._geodesic_memo.maxsize,
             incremental=self.incremental,
             kernel=self.kernel,
+            store=False,
             **base,
         )
 

@@ -45,6 +45,27 @@ class Tower:
         if not self.tower_id:
             raise ValueError("tower_id must be non-empty")
 
+    # Fast pickle path for store entries (see GeoPoint.__getstate__):
+    # a snapshot export carries ~40 towers per network per fingerprint.
+    def __getstate__(self):
+        return (
+            self.tower_id,
+            self.point,
+            self.ground_elevation_m,
+            self.structure_height_m,
+            self.site_name,
+            self.license_ids,
+        )
+
+    def __setstate__(self, state) -> None:
+        set_ = object.__setattr__
+        set_(self, "tower_id", state[0])
+        set_(self, "point", state[1])
+        set_(self, "ground_elevation_m", state[2])
+        set_(self, "structure_height_m", state[3])
+        set_(self, "site_name", state[4])
+        set_(self, "license_ids", state[5])
+
 
 @dataclass(frozen=True, slots=True)
 class MicrowaveLink:
@@ -70,6 +91,24 @@ class MicrowaveLink:
     def endpoints(self) -> frozenset[str]:
         return frozenset((self.tower_a, self.tower_b))
 
+    # Fast pickle path for store entries (see GeoPoint.__getstate__).
+    def __getstate__(self):
+        return (
+            self.tower_a,
+            self.tower_b,
+            self.length_m,
+            self.frequencies_mhz,
+            self.license_ids,
+        )
+
+    def __setstate__(self, state) -> None:
+        set_ = object.__setattr__
+        set_(self, "tower_a", state[0])
+        set_(self, "tower_b", state[1])
+        set_(self, "length_m", state[2])
+        set_(self, "frequencies_mhz", state[3])
+        set_(self, "license_ids", state[4])
+
 
 @dataclass(frozen=True, slots=True)
 class FiberTail:
@@ -82,6 +121,16 @@ class FiberTail:
     def __post_init__(self) -> None:
         if self.length_m < 0.0:
             raise ValueError("fiber length cannot be negative")
+
+    # Fast pickle path for store entries (see GeoPoint.__getstate__).
+    def __getstate__(self):
+        return (self.data_center, self.tower_id, self.length_m)
+
+    def __setstate__(self, state) -> None:
+        set_ = object.__setattr__
+        set_(self, "data_center", state[0])
+        set_(self, "tower_id", state[1])
+        set_(self, "length_m", state[2])
 
 
 @dataclass(frozen=True)
@@ -311,6 +360,16 @@ class HftNetwork:
         if "graph" in self.__dict__:
             clone.__dict__["graph"] = self.graph
         return clone
+
+    def __getstate__(self):
+        # The latency graph is a cached_property rebuilt deterministically
+        # from towers/links; persisting it (store entries, parallel seed
+        # exports) would pickle a networkx adjacency per snapshot — the
+        # bulk of the payload — that warm consumers mostly never touch
+        # (routes ship separately in the engine's route cache).
+        state = dict(self.__dict__)
+        state.pop("graph", None)
+        return state
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -71,6 +71,19 @@ class GeoPoint:
         yield self.latitude
         yield self.longitude
 
+    # Fast pickle path: snapshot exports (repro.store) carry hundreds of
+    # points per entry, and the generic frozen-dataclass __setstate__
+    # walks dataclasses.fields() per instance.  Same semantics —
+    # validation is skipped on unpickle either way.
+    def __getstate__(self):
+        return (self.latitude, self.longitude, self.elevation_m)
+
+    def __setstate__(self, state) -> None:
+        set_ = object.__setattr__
+        set_(self, "latitude", state[0])
+        set_(self, "longitude", state[1])
+        set_(self, "elevation_m", state[2])
+
 
 def great_circle_distance(a: GeoPoint, b: GeoPoint) -> float:
     """Spherical (haversine) distance in metres on the mean-radius sphere."""

@@ -47,6 +47,15 @@ DEFAULT_CACHE_ALLOWED = (
     "src/repro/core/reconstruction.py",
 )
 
+#: Path prefixes allowed to touch the persistent store's on-disk layout
+#: directly (:mod:`repro.store.layout`'s entry read/write/quarantine
+#: functions).  Everything else goes through ``CacheStore`` — a second
+#: code path reading or writing entry files would bypass the atomic
+#: publication and quarantine discipline.
+DEFAULT_STORE_ALLOWED = (
+    "src/repro/store/",
+)
+
 #: Path prefixes allowed to call ``UlsDatabase.active_on`` (a linear scan
 #: that materialises the license list); everything else resolves active
 #: sets through the temporal index or the engine.
@@ -118,6 +127,7 @@ DEFAULT_SHARED_STATE_ROOTS = (
 DEFAULT_SHARED_STATE_ALLOWED = (
     "repro.core.engine.INCREMENTAL_DEFAULT",
     "repro.core.engine.KERNEL_DEFAULT",
+    "repro.core.engine.STORE_DEFAULT",
     "repro.geodesy.memo._active_memo",
     "repro.lint.registry._REGISTRY",
     "repro.obs.spans._STATE",
@@ -135,6 +145,7 @@ DEFAULT_LAYERS = (
     ("repro.geodesy",),
     ("repro.uls",),
     ("repro.core",),
+    ("repro.store",),
     ("repro.leo", "repro.radio", "repro.synth"),
     ("repro.metrics",),
     ("repro.viz",),
@@ -187,6 +198,10 @@ class LintConfig:
     def columnar_allowed_paths(self) -> tuple[str, ...]:
         allowed = self.options_for("cache-discipline").get("columnar_allowed")
         return tuple(allowed) if allowed is not None else DEFAULT_COLUMNAR_ALLOWED
+
+    def store_allowed_paths(self) -> tuple[str, ...]:
+        allowed = self.options_for("cache-discipline").get("store_allowed")
+        return tuple(allowed) if allowed is not None else DEFAULT_STORE_ALLOWED
 
     def unit_groups(self) -> tuple[tuple[str, ...], ...]:
         groups = self.options_for("unit-suffix").get("groups")

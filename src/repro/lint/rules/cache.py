@@ -28,6 +28,15 @@ _SCAN_CALLS = frozenset({"active_on"})
 #: (``UlsDatabase.columnar_store()``), not be constructed ad hoc.
 _COLUMNAR_CALLS = frozenset({"ColumnarLicenseStore"})
 
+#: The persistent store's on-disk layout functions
+#: (:mod:`repro.store.layout`).  Direct entry-file access anywhere else
+#: bypasses atomic write-then-rename publication and corrupt-entry
+#: quarantine; everything outside the store package goes through
+#: ``CacheStore``.
+_STORE_CALLS = frozenset(
+    {"entry_path", "read_entry", "write_entry", "quarantine_entry"}
+)
+
 
 def _prefix_allowed(rel_path: str, prefixes: tuple[str, ...]) -> bool:
     return any(
@@ -49,7 +58,9 @@ class CacheDisciplineRule(Rule):
         "uls layer and the engine rescans every license (use "
         "UlsDatabase.temporal_index()); ColumnarLicenseStore(...) outside "
         "the uls layer and the engine risks stale columns (use "
-        "UlsDatabase.columnar_store())"
+        "UlsDatabase.columnar_store()); store layout calls "
+        "(read_entry/write_entry/...) outside src/repro/store/ bypass "
+        "atomic publication and quarantine (use CacheStore)"
     )
     interests = (ast.Call,)
 
@@ -58,6 +69,7 @@ class CacheDisciplineRule(Rule):
             rel_path not in config.cache_allowed_files()
             or not _prefix_allowed(rel_path, config.active_on_allowed_paths())
             or not _prefix_allowed(rel_path, config.columnar_allowed_paths())
+            or not _prefix_allowed(rel_path, config.store_allowed_paths())
         )
 
     def visit(self, node: ast.AST, ctx: FileContext) -> None:
@@ -94,4 +106,15 @@ class CacheDisciplineRule(Rule):
                 "ColumnarLicenseStore(...) built outside the uls layer and "
                 "the engine risks stale columns after a database mutation; "
                 "use UlsDatabase.columnar_store() (cached per generation)",
+            )
+        elif name in _STORE_CALLS and not _prefix_allowed(
+            ctx.rel_path, ctx.config.store_allowed_paths()
+        ):
+            ctx.report(
+                self,
+                node,
+                f"{name}(...) touches the persistent store's entry files "
+                "directly, bypassing atomic publication and corrupt-entry "
+                "quarantine; go through repro.store.CacheStore "
+                "(allowed only under src/repro/store/)",
             )

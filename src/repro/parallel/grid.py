@@ -142,12 +142,19 @@ class _WorkerState:
     def install_seeds(self, seeds: dict[ParamsKey, EngineCacheExport]) -> None:
         """Adopt the parent's cache exports (run at each chunk start).
 
-        Engines this worker already built (persistent pool, repeated map
-        calls) are topped up with entries the parent learned since;
-        installation counts no hits or misses, and baselines are advanced
-        so topped-up entries are not shipped back as "learned".
+        Seeds arrive either as full exports or as tiny
+        :class:`~repro.store.cachestore.StoreSeedRef` pointers resolved
+        against the on-disk store here, in the worker (see
+        :meth:`GridSession.map`).  Engines this worker already built
+        (persistent pool, repeated map calls) are topped up with entries
+        the parent learned since; installation counts no hits or misses,
+        and baselines are advanced so topped-up entries are not shipped
+        back as "learned".
         """
-        self._seeds = seeds
+        self._seeds = {
+            key: _resolve_seed(seed) for key, seed in seeds.items()
+        }
+        seeds = self._seeds
         for key, engine in self._engines.items():
             seed = seeds.get(key)
             if seed is not None:
@@ -161,7 +168,15 @@ class _WorkerState:
             if key is not None:
                 params.update(dict(key))
             engine = CorridorEngine(
-                self.database, self.corridor, **params, **self.cache_sizes
+                self.database,
+                self.corridor,
+                # Workers never attach to the persistent store directly:
+                # they are seeded explicitly (below), and letting every
+                # worker auto-load/checkpoint would race the parent's own
+                # entry for no benefit.
+                store=False,
+                **params,
+                **self.cache_sizes,
             )
             seed = self._seeds.get(key)
             if seed is not None:
@@ -202,6 +217,19 @@ class _WorkerState:
 
 def _build_worker_state(database, corridor, base_params, cache_sizes):
     return _WorkerState(database, corridor, base_params, cache_sizes)
+
+
+def _resolve_seed(seed):
+    """A shipped seed -> a cache export (or ``None`` for a cold start).
+
+    Full exports pass through; :class:`~repro.store.cachestore
+    .StoreSeedRef` pointers are resolved against the on-disk store in
+    this (worker) process.  A missing or corrupt entry resolves to
+    ``None`` — the worker starts cold, byte-identical either way.
+    """
+    if seed is None or isinstance(seed, EngineCacheExport):
+        return seed
+    return seed.load()
 
 
 def _install_seeds(state: _WorkerState, seeds) -> None:
@@ -341,11 +369,24 @@ class GridSession:
             if self.backend != "process":
                 return self._pmap.map(_grid_task, wrapped)
             # Materialise (and thereby seed) every engine this call needs,
-            # then ship each one's warm state to the workers.
-            seeds = {
-                key: self.engine_for(key).export_cache_state()
-                for key in dict.fromkeys(keys)
-            }
+            # then ship each one's warm state to the workers.  With a
+            # persistent store attached, the parent checkpoints once and
+            # ships a content-addressed pointer instead of the full
+            # (potentially multi-megabyte) export; parameter-override
+            # siblings have no store entry and still ship in full.
+            seeds = {}
+            for key in dict.fromkeys(keys):
+                engine = self.engine_for(key)
+                store = getattr(engine, "store", None)
+                if store is not None:
+                    engine.checkpoint()
+                    from repro.store import StoreSeedRef
+
+                    seeds[key] = StoreSeedRef(
+                        str(store.cache_dir), store.fingerprint_for(engine)
+                    )
+                else:
+                    seeds[key] = engine.export_cache_state()
             return self._pmap.map(
                 _grid_task,
                 wrapped,

@@ -141,7 +141,7 @@ class EngineFacade:
             }
         with self.engine.locked():
             stats = self.engine.stats
-        return {
+        described = {
             "facade": counters,
             "engine": {
                 "snapshot_hits": stats.snapshot.hits,
@@ -152,3 +152,7 @@ class EngineFacade:
                 "snapshot_full": stats.snapshot_full,
             },
         }
+        store = getattr(self.engine, "store", None)
+        if store is not None:
+            described["store"] = store.counters()
+        return described

@@ -102,6 +102,10 @@ class CorridorServer:
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join()
+        # Drained: no handler is in flight, so the warm engine's caches
+        # are quiescent — checkpoint them to the persistent store (a
+        # no-op without one) so the next boot starts warm.
+        self.service.checkpoint()
 
     def __enter__(self) -> "CorridorServer":
         return self.start()

@@ -17,6 +17,8 @@ keeps serving.
 from __future__ import annotations
 
 import datetime as dt
+import threading
+from collections import OrderedDict
 from typing import Callable
 from urllib.parse import parse_qsl, urlsplit
 
@@ -109,6 +111,69 @@ def _float_param(
     return value
 
 
+#: Bound on cached rendered bodies.  The request space is small (a
+#: handful of endpoints x a few hundred plausible param combinations);
+#: 256 covers a steady-state load profile without unbounded growth.
+DEFAULT_BODY_CACHE_SIZE = 256
+
+
+class ResponseBodyCache:
+    """Rendered 200 response bodies, keyed on (endpoint, params).
+
+    One level above the facade: a hit skips request parsing, payload
+    building *and* JSON rendering.  Entries are scoped to one engine
+    generation — any database mutation bumps the generation and the
+    next lookup drops every cached body, so a stale body can never be
+    served (same invalidation rule as the engine's own caches).  Bodies
+    are immutable ``bytes``, safe to hand to any number of threads.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_BODY_CACHE_SIZE) -> None:
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self._generation: int | None = None
+        self._entries: OrderedDict[tuple, bytes] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def _sync_generation(self, generation: int) -> None:
+        if generation != self._generation:
+            if self._entries:
+                self.invalidations += 1
+                self._entries.clear()
+            self._generation = generation
+
+    def get(self, key: tuple, generation: int) -> bytes | None:
+        with self._lock:
+            self._sync_generation(generation)
+            body = self._entries.get(key)
+            if body is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return body
+
+    def put(self, key: tuple, generation: int, body: bytes) -> None:
+        with self._lock:
+            self._sync_generation(generation)
+            if key not in self._entries and len(self._entries) >= self.maxsize:
+                self._entries.popitem(last=False)
+            self._entries[key] = body
+            self._entries.move_to_end(key)
+
+    def describe(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+                "generation": self._generation,
+            }
+
+
 class CorridorQueryService:
     """Route validated queries to payload builders over one warm engine.
 
@@ -142,15 +207,52 @@ class CorridorQueryService:
             "/search": self._search,
             "/map": self._map,
         }
+        self.bodies = ResponseBodyCache()
 
     # ------------------------------------------------------------------
     # Entry points
     # ------------------------------------------------------------------
 
     def handle_http(self, url: str) -> tuple[int, bytes]:
-        """One request target -> (status, canonical JSON body bytes)."""
+        """One request target -> (status, canonical JSON body bytes).
+
+        Successful analysis responses are served from the rendered-body
+        cache when possible; ``/healthz`` and ``/stats`` (live values)
+        and every error path always render fresh.
+        """
+        key = self._body_key(url)
+        if key is not None:
+            body = self.bodies.get(key, self.facade.engine.database.generation)
+            if body is not None:
+                obs.count("serve.body_cache.hit")
+                # A body hit is still a request for accounting purposes.
+                self.facade.enter_request()
+                self.facade.exit_request()
+                return 200, body
+            obs.count("serve.body_cache.miss")
         status, payload = self.handle_url(url)
-        return status, (render_payload(payload) + "\n").encode("utf-8")
+        body = (render_payload(payload) + "\n").encode("utf-8")
+        if key is not None and status == 200:
+            self.bodies.put(key, self.facade.engine.database.generation, body)
+        return status, body
+
+    def _body_key(self, url: str) -> tuple | None:
+        """The body-cache key for ``url``, or ``None`` if uncacheable.
+
+        Only the warm shared-engine mode caches (the cold baseline must
+        pay full price per request), and only analysis endpoints —
+        ``/healthz``/``/stats`` report live state and unparseable
+        requests take the error path.
+        """
+        if not self.warm:
+            return None
+        try:
+            path, params = parse_request(url)
+        except ServiceError:
+            return None
+        if path not in self.routes:
+            return None
+        return (path, tuple(sorted(params.items())))
 
     def handle_url(self, url: str) -> tuple[int, dict]:
         """One request target -> (status, payload dict); never raises."""
@@ -179,7 +281,9 @@ class CorridorQueryService:
             return {"status": "ok", "warm": self.warm}
         if path == "/stats":
             _check_params(params, ())
-            return self.facade.describe()
+            stats = self.facade.describe()
+            stats["body_cache"] = self.bodies.describe()
+            return stats
         handler = self.routes.get(path)
         if handler is None:
             raise ServiceError(
@@ -198,8 +302,23 @@ class CorridorQueryService:
     def _engine(self) -> CorridorEngine:
         if self.warm:
             return self.facade.engine
-        # Cold baseline: a private engine per request, empty caches.
-        return CorridorEngine(self.scenario.database, self.scenario.corridor)
+        # Cold baseline: a private engine per request, empty caches, and
+        # no store — the baseline must really rebuild from scratch.
+        return CorridorEngine(
+            self.scenario.database, self.scenario.corridor, store=False
+        )
+
+    def checkpoint(self):
+        """Persist the warm engine's caches to its attached store.
+
+        The draining-shutdown hook: :meth:`repro.serve.server
+        .CorridorServer.close` calls this after the last in-flight
+        request completes, so the next server boot starts warm.  A
+        no-op without a store, or in cold-baseline mode.
+        """
+        if not self.warm:
+            return None
+        return self.facade.engine.checkpoint()
 
     # ------------------------------------------------------------------
     # Endpoint handlers (validated params -> payload builders)

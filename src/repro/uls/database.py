@@ -9,7 +9,9 @@ location coordinates for the radius searches.
 from __future__ import annotations
 
 import datetime as dt
+import hashlib
 import math
+import pickle
 from typing import Iterable, Iterator
 
 from repro.geodesy import GeoPoint, geodesic_distance
@@ -49,6 +51,8 @@ class UlsDatabase:
         #: Lazily-built columnar store (one per generation, like the
         #: temporal indices; invalidated by any mutation).
         self._columnar_store: ColumnarLicenseStore | None = None
+        #: Cached (generation, digest) pair for :meth:`content_digest`.
+        self._content_digest: tuple[int, str] | None = None
         for lic in licenses:
             self.add(lic)
 
@@ -188,6 +192,30 @@ class UlsDatabase:
             )
             self._columnar_store = store
         return store
+
+    def content_digest(self) -> str:
+        """A stable hex digest of every license's full content.
+
+        The persistent store (:mod:`repro.store`) keys its on-disk
+        entries off this: two databases holding identical license sets
+        share a digest across processes, and any mutation (generation
+        bump) changes it, which is what invalidates persisted cache
+        entries.  Computed from a fixed-protocol pickle of the id-sorted
+        license list (field-complete and ~an order of magnitude faster
+        than the repr-based digest the engine uses for small ad-hoc
+        license sets), and cached per generation like the other derived
+        views.
+        """
+        cached = self._content_digest
+        if cached is not None and cached[0] == self._generation:
+            return cached[1]
+        payload = pickle.dumps(
+            sorted(self._by_id.values(), key=lambda lic: lic.license_id),
+            protocol=4,
+        )
+        digest = hashlib.sha256(payload).hexdigest()
+        self._content_digest = (self._generation, digest)
+        return digest
 
     def __getstate__(self) -> dict:
         """Pickle without the derived caches (workers rebuild lazily).

@@ -358,6 +358,97 @@ class TestColumnarStoreDiscipline:
             rules=("cache-discipline",), rule_options=self.OPTIONS,
         ) == []
 
+
+class TestPersistentStoreDiscipline:
+    """Raw store-layout access is confined to src/repro/store/."""
+
+    OPTIONS = {
+        "cache-discipline": {
+            "allowed": ["allowed/engine.py"],
+            "store_allowed": ["src/repro/store/"],
+        }
+    }
+
+    def test_write_entry_flagged_outside_store_package(self, tmp_path):
+        source = """
+            from repro.store.layout import write_entry
+
+            def publish(cache_dir, fingerprint, payload):
+                return write_entry(cache_dir, fingerprint, payload)
+        """
+        findings = findings_for(
+            tmp_path, source, name="src/repro/analysis/driver.py",
+            rules=("cache-discipline",), rule_options=self.OPTIONS,
+        )
+        assert rule_names(findings) == ["cache-discipline"]
+        assert "CacheStore" in findings[0].message
+
+    def test_read_and_quarantine_flagged_outside_store_package(self, tmp_path):
+        source = """
+            def peek(cache_dir, fingerprint):
+                data = read_entry(cache_dir, fingerprint)
+                if data is None:
+                    quarantine_entry(cache_dir, fingerprint)
+                return data
+        """
+        assert rule_names(
+            findings_for(
+                tmp_path, source, name="src/repro/serve/service.py",
+                rules=("cache-discipline",), rule_options=self.OPTIONS,
+            )
+        ) == ["cache-discipline"] * 2
+
+    def test_layout_calls_allowed_under_store_package(self, tmp_path):
+        source = """
+            def load(cache_dir, fingerprint):
+                data = read_entry(cache_dir, fingerprint)
+                if data is None:
+                    quarantine_entry(cache_dir, fingerprint)
+                return data
+        """
+        assert findings_for(
+            tmp_path, source, name="src/repro/store/cachestore.py",
+            rules=("cache-discipline",), rule_options=self.OPTIONS,
+        ) == []
+
+    def test_cachestore_api_ok_anywhere(self, tmp_path):
+        source = """
+            from repro.store import CacheStore
+
+            def warm(engine, cache_dir):
+                store = CacheStore(cache_dir)
+                store.load_into(engine)
+                return store.save_from(engine)
+        """
+        assert findings_for(
+            tmp_path, source, name="src/repro/analysis/driver.py",
+            rules=("cache-discipline",), rule_options=self.OPTIONS,
+        ) == []
+
+    def test_attribute_reference_without_call_ok(self, tmp_path):
+        source = """
+            from repro.store import layout
+
+            def probe():
+                return layout.write_entry  # reference, not a write
+        """
+        assert findings_for(
+            tmp_path, source, name="src/repro/analysis/driver.py",
+            rules=("cache-discipline",), rule_options=self.OPTIONS,
+        ) == []
+
+    def test_default_prefixes_apply_without_options(self, tmp_path):
+        source = """
+            def publish(cache_dir, fingerprint, payload):
+                return write_entry(cache_dir, fingerprint, payload)
+        """
+        assert rule_names(
+            findings_for(
+                tmp_path, source, name="src/repro/metrics/thing.py",
+                rules=("cache-discipline",),
+            )
+        ) == ["cache-discipline"]
+
     def test_default_prefixes_apply_without_options(self, tmp_path):
         source = """
             store = ColumnarLicenseStore(groups)
