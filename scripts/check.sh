@@ -116,3 +116,34 @@ for cmd in funnel timeline table1; do
     done
 done
 rm -rf "$store_dir"
+
+# Multi-scenario gate: every determinism contract above must hold for
+# *every* registered corridor, not just the paper's.  For each scenario
+# and driver: serial vs fanned-out must agree, and a store-warmed rerun
+# must agree with a no-store run (per-scenario fingerprints may share
+# one store directory without cross-talk).
+for scenario in europe2020 tokyo-singapore; do
+    rm -rf "$store_dir"
+    for cmd in funnel timeline table1; do
+        if ! diff <(python -m repro "$cmd" --scenario "$scenario" --jobs 1) \
+                  <(python -m repro "$cmd" --scenario "$scenario" --jobs 4); then
+            echo "check.sh: '$cmd --scenario $scenario' differs between --jobs 1 and --jobs 4" >&2
+            exit 1
+        fi
+        if ! diff <(python -m repro "$cmd" --scenario "$scenario") \
+                  <(python -m repro "$cmd" --scenario "$scenario" --cache-dir "$store_dir"); then
+            echo "check.sh: '$cmd --scenario $scenario' differs between no-store and cold-with-store" >&2
+            exit 1
+        fi
+        if ! diff <(python -m repro "$cmd" --scenario "$scenario") \
+                  <(python -m repro "$cmd" --scenario "$scenario" --cache-dir "$store_dir"); then
+            echo "check.sh: '$cmd --scenario $scenario' differs between no-store and store-warmed" >&2
+            exit 1
+        fi
+    done
+done
+rm -rf "$store_dir"
+
+# The hybrid corridor comparison must run end-to-end over every
+# registered corridor (warm engines from the gates above keep it cheap).
+python -m repro compare > /dev/null

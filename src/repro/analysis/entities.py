@@ -77,8 +77,8 @@ def joint_analysis(
     corridor: CorridorSpec,
     licensees: tuple[str, ...],
     on_date: dt.date,
-    source: str = "CME",
-    target: str = "NY4",
+    source: str | None = None,
+    target: str | None = None,
     engine: CorridorEngine | None = None,
 ) -> JointAnalysis:
     """Reconstruct a group's joint network and compare with the members'.
@@ -90,6 +90,7 @@ def joint_analysis(
     """
     if len(licensees) < 2:
         raise ValueError("joint analysis needs at least two licensees")
+    source, target = corridor.resolve_path(source, target)
     engine = engine or CorridorEngine(database, corridor)
     connected_alone = {}
     pooled = []
@@ -121,8 +122,8 @@ def resolve_entities(
     corridor: CorridorSpec,
     on_date: dt.date,
     licensees: list[str] | None = None,
-    source: str = "CME",
-    target: str = "NY4",
+    source: str | None = None,
+    target: str | None = None,
     require_complementary: bool = True,
     engine: CorridorEngine | None = None,
 ) -> list[ResolvedEntity]:
@@ -134,6 +135,7 @@ def resolve_entities(
     path none of its members achieves alone — the unambiguous signature
     of a split filing identity.
     """
+    source, target = corridor.resolve_path(source, target)
     engine = engine or CorridorEngine(database, corridor)
     resolved = []
     for domain, group in sorted(shared_domain_groups(database, licensees).items()):
@@ -159,8 +161,8 @@ def complementary_pairs(
     corridor: CorridorSpec,
     licensees: list[str],
     on_date: dt.date,
-    source: str = "CME",
-    target: str = "NY4",
+    source: str | None = None,
+    target: str | None = None,
     engine: CorridorEngine | None = None,
 ) -> list[JointAnalysis]:
     """Geometric search: pairs whose union connects though neither does.
@@ -171,6 +173,7 @@ def complementary_pairs(
     licensees); the engine's caches keep each member's solo snapshot and
     route to a single reconstruction across all pairs.
     """
+    source, target = corridor.resolve_path(source, target)
     engine = engine or CorridorEngine(database, corridor)
     alone: dict[str, bool] = {}
     for name in licensees:

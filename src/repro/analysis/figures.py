@@ -54,12 +54,12 @@ def fig1_latency_evolution(
     scenario: Scenario,
     licensees: tuple[str, ...] | None = None,
     dates: list[dt.date] | None = None,
-    source: str = "CME",
-    target: str = "NY4",
+    source: str | None = None,
+    target: str | None = None,
     jobs: int = 1,
     session: GridSession | None = None,
 ) -> dict[str, list[TimelinePoint]]:
-    """Fig 1: CME–NY4 latency trajectories of the featured networks.
+    """Fig 1: primary-path latency trajectories of the featured networks.
 
     The licensee × date grid fans out one licensee per task when
     ``jobs > 1`` (or a ``session`` is passed); results and cache learning
@@ -70,6 +70,7 @@ def fig1_latency_evolution(
     concatenation of its spans, identical to the unchunked result.
     """
     licensees = licensees or scenario.featured_names
+    source, target = scenario.corridor.resolve_path(source, target)
     dates = list(dates or yearly_snapshot_dates())
     with obs.span(
         "analysis.fig1", licensees=len(licensees), points=len(dates)
@@ -193,11 +194,12 @@ def fig4a_link_length_cdfs(
     scenario: Scenario,
     licensees: tuple[str, ...] = ("Webline Holdings", "New Line Networks"),
     on_date: dt.date | None = None,
-    source: str = "CME",
-    target: str = "NY4",
+    source: str | None = None,
+    target: str | None = None,
 ) -> dict[str, list[float]]:
-    """Fig 4a: link lengths (km) on near-optimal CME–NY4 paths."""
+    """Fig 4a: link lengths (km) on near-optimal primary-path routes."""
     date = on_date or scenario.snapshot_date
+    source, target = scenario.corridor.resolve_path(source, target)
     engine = scenario.engine()
     samples = {}
     for name in licensees:
@@ -209,12 +211,13 @@ def fig4a_link_length_cdfs(
 def fig4b_frequency_cdfs(
     scenario: Scenario,
     on_date: dt.date | None = None,
-    source: str = "CME",
-    target: str = "NY4",
+    source: str | None = None,
+    target: str | None = None,
 ) -> dict[str, list[float]]:
     """Fig 4b: frequencies (GHz) on shortest paths (WH, NLN) and on NLN's
     alternate paths."""
     date = on_date or scenario.snapshot_date
+    source, target = scenario.corridor.resolve_path(source, target)
     engine = scenario.engine()
     wh = engine.snapshot("Webline Holdings", date)
     nln = engine.snapshot("New Line Networks", date)

@@ -81,8 +81,8 @@ class RaceHistory:
 def race_history(
     scenario: Scenario,
     dates: list[dt.date] | None = None,
-    source: str = "CME",
-    target: str = "NY4",
+    source: str | None = None,
+    target: str | None = None,
     licensees: list[str] | None = None,
 ) -> RaceHistory:
     """Rank every (candidate) network at every snapshot date.
@@ -93,10 +93,18 @@ def race_history(
     licensee's active-license set is unchanged reuse the cached network
     outright — no fingerprint rescan, let alone re-stitching.
     """
+    source, target = scenario.corridor.resolve_path(source, target)
     dates = dates or yearly_snapshot_dates()
-    names = licensees if licensees is not None else list(scenario.connected_names) + [
-        "National Tower Company"
-    ]
+    if licensees is not None:
+        names = list(licensees)
+    else:
+        # Every connected network, plus featured networks that are no
+        # longer connected (the paper's wound-down National Tower Company).
+        names = list(scenario.connected_names) + [
+            name
+            for name in scenario.featured_names
+            if name not in scenario.connected_names
+        ]
     engine = scenario.engine()
     bound_ms = scenario.corridor.geodesic_m(source, target) / SPEED_OF_LIGHT * 1e3
     snapshots = []

@@ -62,8 +62,8 @@ def run_scraping_funnel(
     on_date: dt.date,
     radius_m: float = CME_SEARCH_RADIUS_M,
     min_filings: int = MIN_FILINGS_FOR_SHORTLIST,
-    source: str = "CME",
-    target: str = "NY4",
+    source: str | None = None,
+    target: str | None = None,
     engine: CorridorEngine | None = None,
     jobs: int = 1,
 ) -> FunnelResult:
@@ -85,6 +85,7 @@ def run_scraping_funnel(
     including ``pages_scraped`` — is jobs-invariant (each licensee's
     detail pages are its own, so no worker refetches another's).
     """
+    source, target = corridor.resolve_path(source, target)
     if engine is None:
         engine = CorridorEngine(database, corridor)
     portal = UlsPortal(database)

@@ -75,8 +75,8 @@ def diff_corridor(
     corridor: CorridorSpec,
     start: dt.date,
     end: dt.date,
-    source: str = "CME",
-    target: str = "NY4",
+    source: str | None = None,
+    target: str | None = None,
     licensees: list[str] | None = None,
     engine: CorridorEngine | None = None,
 ) -> CorridorDiff:
@@ -88,6 +88,7 @@ def diff_corridor(
     repeated diffs (weekly monitoring keeps re-routing the same
     unchanged networks).
     """
+    source, target = corridor.resolve_path(source, target)
     log = transactions_between(database, start, end)
     grants = sum(1 for tx in log if tx.action == "grant")
     cancellations = sum(1 for tx in log if tx.action == "cancel")

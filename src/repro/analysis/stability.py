@@ -67,8 +67,8 @@ def _latencies_at(
 def ranking_stability(
     scenario: Scenario,
     max_overhead_us: float = 3.0,
-    source: str = "CME",
-    target: str = "NY4",
+    source: str | None = None,
+    target: str | None = None,
     licensees: tuple[str, ...] | None = None,
     on_date: dt.date | None = None,
 ) -> StabilityReport:
@@ -82,6 +82,7 @@ def ranking_stability(
     """
     if max_overhead_us <= 0.0:
         raise ValueError("overhead range must be positive")
+    source, target = scenario.corridor.resolve_path(source, target)
     date = on_date or scenario.snapshot_date
     names = licensees or scenario.connected_names
     at_zero = _latencies_at(scenario, 0.0, source, target, tuple(names), date)

@@ -20,12 +20,12 @@ from repro.synth.scenario import Scenario
 def table1_connected_networks(
     scenario: Scenario,
     on_date: dt.date | None = None,
-    source: str = "CME",
-    target: str = "NY4",
+    source: str | None = None,
+    target: str | None = None,
     jobs: int = 1,
     session: GridSession | None = None,
 ) -> list[NetworkRanking]:
-    """Table 1: connected networks by increasing CME–NY4 latency."""
+    """Table 1: connected networks by increasing primary-path latency."""
     date = on_date or scenario.snapshot_date
     with obs.span("analysis.table1", date=date.isoformat()):
         return rank_connected_networks(
@@ -79,16 +79,19 @@ def _table3_task(ctx, item):
 
 def table3_apa(
     scenario: Scenario,
-    licensees: tuple[str, ...] = ("New Line Networks", "Webline Holdings"),
+    licensees: tuple[str, ...] | None = None,
     on_date: dt.date | None = None,
     jobs: int = 1,
     session: GridSession | None = None,
 ) -> list[ApaRow]:
-    """Table 3: per-path APA for selected networks (paper: NLN vs WH).
+    """Table 3: per-path APA for selected networks (default: the
+    scenario's spotlight pair, the paper's NLN vs WH).
 
     Fans out one licensee per task (its full APA column) when parallel;
     rows are reassembled path-major either way.
     """
+    if licensees is None:
+        licensees = scenario.spotlight_names
     date = on_date or scenario.snapshot_date
     engine = scenario.engine()
     paths = tuple(scenario.corridor.paths)

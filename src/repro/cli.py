@@ -9,6 +9,7 @@ Subcommands mirror the tool's workflow:
 * ``timeline``  — Fig 1/2 series for the featured networks;
 * ``export``    — write a network's YAML / GeoJSON / SVG snapshot;
 * ``leo``       — the Fig 5 MW vs LEO vs fiber sweep;
+* ``compare``   — hybrid MW/fiber/LEO table across registered corridors;
 * ``entities``  — resolve co-owned licensees (§6 future work);
 * ``weather``   — effective latency profiles under a storm ensemble;
 * ``stability`` — ranking flips under per-tower overhead uncertainty;
@@ -20,7 +21,10 @@ Subcommands mirror the tool's workflow:
 * ``cache``     — inspect or maintain the on-disk cache store (repro.store);
 * ``lint``      — run the project's static-analysis rules (repro.lint).
 
-All analysis commands run on the calibrated ``paper2020`` scenario.
+Analysis commands default to the calibrated ``paper2020`` scenario;
+``--scenario NAME[:k=v,...]`` selects any registered scenario
+(``europe2020``, ``tokyo-singapore``, parameterized ``synthetic:...`` —
+see :mod:`repro.scenarios`).
 ``table1``/``table3``/``timeline``/``search`` accept
 ``--format json``, emitting the exact canonical payload the serve
 endpoints return (parity is pinned in ``tests/test_serve_parity.py``).
@@ -47,7 +51,7 @@ from repro.analysis.tables import (
     table3_apa,
 )
 from repro.core.yamlio import network_to_yaml
-from repro.synth.scenario import paper2020_scenario
+from repro.synth.scenario import Scenario
 from repro.viz.geojson import network_to_geojson
 from repro.viz.svgmap import render_network_svg
 
@@ -56,8 +60,22 @@ def _parse_date(text: str) -> dt.date:
     return dt.date.fromisoformat(text)
 
 
+def _scenario(args: argparse.Namespace) -> Scenario:
+    """Resolve the subcommand's ``--scenario`` reference.
+
+    Every subcommand routes through this one resolver; the registry
+    caches by canonical reference, so repeated calls (the command body,
+    ``--cache-stats``, in-process test invocations) share one scenario
+    and one warm default engine.
+    """
+    from repro.scenarios import resolve_scenario
+
+    return resolve_scenario(getattr(args, "scenario", None) or "paper2020")
+
+
 def _cmd_funnel(args: argparse.Namespace) -> int:
-    scenario = paper2020_scenario()
+    scenario = _scenario(args)
+    source, target = scenario.primary_path
     result = run_scraping_funnel(
         scenario.database,
         scenario.corridor,
@@ -68,7 +86,7 @@ def _cmd_funnel(args: argparse.Namespace) -> int:
     candidates, shortlisted, connected = result.counts
     print(f"candidate licensees: {candidates}")
     print(f"shortlisted (>= 11 filings): {shortlisted}")
-    print(f"connected CME-NY4: {connected}")
+    print(f"connected {source}-{target}: {connected}")
     print(f"portal pages scraped: {result.pages_scraped}")
     for name in result.connected_licensees:
         print(f"  - {name}")
@@ -76,7 +94,7 @@ def _cmd_funnel(args: argparse.Namespace) -> int:
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
-    scenario = paper2020_scenario()
+    scenario = _scenario(args)
     if args.format == "json":
         from repro.serve.payloads import rankings_payload, render_payload
 
@@ -90,18 +108,19 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         (r.licensee, format_latency_ms(r.latency_ms), r.apa_percent, r.tower_count)
         for r in rankings
     ]
+    source, target = scenario.primary_path
     print(
         format_table(
             ("Licensee", "Latency (ms)", "APA (%)", "#Towers"),
             rows,
-            title="Connected networks, CME-NY4",
+            title=f"Connected networks, {source}-{target}",
         )
     )
     return 0
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
-    scenario = paper2020_scenario()
+    scenario = _scenario(args)
     rows = []
     for path_ranking in table2_top_networks(scenario, args.date, jobs=args.jobs):
         for rank, entry in enumerate(path_ranking.top, start=1):
@@ -123,7 +142,7 @@ def _cmd_table2(args: argparse.Namespace) -> int:
 
 
 def _cmd_table3(args: argparse.Namespace) -> int:
-    scenario = paper2020_scenario()
+    scenario = _scenario(args)
     if args.format == "json":
         from repro.serve.payloads import apa_payload, render_payload
 
@@ -145,7 +164,7 @@ def _cmd_table3(args: argparse.Namespace) -> int:
 def _cmd_timeline(args: argparse.Namespace) -> int:
     from repro.core.timeline import dense_date_grid
 
-    scenario = paper2020_scenario()
+    scenario = _scenario(args)
     if args.format == "json":
         from repro.serve.payloads import render_payload, timeline_payload
 
@@ -161,7 +180,9 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
 
         # One session (one pool, one set of merged caches) serves both
         # figure grids.
-        with GridSession(scenario.engine(), args.jobs) as session:
+        with GridSession(
+            scenario.engine(), args.jobs, scenario=scenario.name
+        ) as session:
             latencies = fig1_latency_evolution(
                 scenario, dates=dates, session=session
             )
@@ -175,14 +196,19 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
     count_rows = [
         (name, *(str(c) for c in series.counts)) for name, series in counts.items()
     ]
-    print(format_table(header, latency_rows, title="Fig 1: latency (ms), CME-NY4"))
+    source, target = scenario.primary_path
+    print(
+        format_table(
+            header, latency_rows, title=f"Fig 1: latency (ms), {source}-{target}"
+        )
+    )
     print()
     print(format_table(header, count_rows, title="Fig 2: active licenses"))
     return 0
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
-    scenario = paper2020_scenario()
+    scenario = _scenario(args)
     date = args.date or scenario.snapshot_date
     if args.licensee not in scenario.database.licensee_names():
         print(f"unknown licensee: {args.licensee!r}", file=sys.stderr)
@@ -193,7 +219,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
     stem = f"{args.licensee.lower().replace(' ', '_')}_{date.isoformat()}"
     network_to_yaml(network, out / f"{stem}.yaml")
     network_to_geojson(network, out / f"{stem}.geojson")
-    render_network_svg(network, out / f"{stem}.svg")
+    render_network_svg(network, out / f"{stem}.svg", highlight_route=scenario.primary_path)
     print(f"wrote {stem}.yaml / .geojson / .svg to {out}")
     return 0
 
@@ -224,7 +250,8 @@ def _cmd_leo(args: argparse.Namespace) -> int:
 def _cmd_entities(args: argparse.Namespace) -> int:
     from repro.analysis.entities import resolve_entities
 
-    scenario = paper2020_scenario()
+    scenario = _scenario(args)
+    source, target = scenario.primary_path
     resolved = resolve_entities(
         scenario.database,
         scenario.corridor,
@@ -244,7 +271,7 @@ def _cmd_entities(args: argparse.Namespace) -> int:
     ]
     print(
         format_table(
-            ("Shared domain", "Licensees", "Joint CME-NY4 (ms)"),
+            ("Shared domain", "Licensees", f"Joint {source}-{target} (ms)"),
             rows,
             title="Resolved entities (shared domain + complementary links)",
         )
@@ -255,18 +282,19 @@ def _cmd_entities(args: argparse.Namespace) -> int:
 def _cmd_weather(args: argparse.Namespace) -> int:
     from repro.metrics.effective_latency import weather_latency_profile
 
-    scenario = paper2020_scenario()
+    scenario = _scenario(args)
     date = args.date or scenario.snapshot_date
     engine = scenario.engine()
+    source, target = scenario.primary_path
     corridor = (
-        scenario.corridor.site("CME").point,
-        scenario.corridor.site("NY4").point,
+        scenario.corridor.site(source).point,
+        scenario.corridor.site(target).point,
     )
     rows = []
-    for name in ("New Line Networks", "Webline Holdings"):
+    for name in scenario.spotlight_names:
         network = engine.snapshot(name, date)
         profile = weather_latency_profile(
-            network, "CME", "NY4", corridor, n_storms=args.storms
+            network, source, target, corridor, n_storms=args.storms
         )
         rows.append(
             (
@@ -290,7 +318,7 @@ def _cmd_weather(args: argparse.Namespace) -> int:
 def _cmd_stability(args: argparse.Namespace) -> int:
     from repro.analysis.stability import ranking_stability
 
-    scenario = paper2020_scenario()
+    scenario = _scenario(args)
     report = ranking_stability(scenario, max_overhead_us=args.max_overhead)
     print(f"order at 0 overhead:   {' > '.join(report.order_at_zero[:4])} ...")
     print(
@@ -314,7 +342,6 @@ def _cmd_stability(args: argparse.Namespace) -> int:
 
 
 def _cmd_design(args: argparse.Namespace) -> int:
-    from repro.core.corridor import CME, NY4
     from repro.design.evaluate import (
         NetworkDesign,
         corridor_endpoints,
@@ -326,12 +353,16 @@ def _cmd_design(args: argparse.Namespace) -> int:
     from repro.design.trunk import DesignError, design_trunk
     from repro.geodesy.path import offset_point
 
-    pool = generate_site_pool(CME.point, NY4.point, n_sites=400, seed=args.seed)
+    scenario = _scenario(args)
+    west_site = scenario.corridor.west
+    east_site = scenario.corridor.east[0]
+    west_pt, east_pt = west_site.point, east_site.point
+    pool = generate_site_pool(west_pt, east_pt, n_sites=400, seed=args.seed)
     west_gw = CandidateSite(
-        "gw-west", offset_point(CME.point, NY4.point, 0.0008, 0.0), 3.0, 0.0
+        "gw-west", offset_point(west_pt, east_pt, 0.0008, 0.0), 3.0, 0.0
     )
     east_gw = CandidateSite(
-        "gw-east", offset_point(CME.point, NY4.point, 0.9992, 0.0), 3.0, 0.0
+        "gw-east", offset_point(west_pt, east_pt, 0.9992, 0.0), 3.0, 0.0
     )
     try:
         trunk = design_trunk(pool, west_gw, east_gw, budget=args.trunk_budget)
@@ -341,11 +372,11 @@ def _cmd_design(args: argparse.Namespace) -> int:
     bypasses = tuple(
         augment_with_bypasses(trunk, pool, budget=args.bypass_budget)
     )
-    west, east = corridor_endpoints(CME.point, NY4.point)
+    west, east = corridor_endpoints(west_pt, east_pt)
     report = evaluate_design(
         NetworkDesign(trunk=trunk, bypasses=bypasses, west=west, east=east)
     )
-    bound = latency_lower_bound_ms(CME.point, NY4.point)
+    bound = latency_lower_bound_ms(west_pt, east_pt)
     print(
         format_table(
             ("Metric", "Value"),
@@ -357,7 +388,7 @@ def _cmd_design(args: argparse.Namespace) -> int:
                 ("bypass towers", len(bypasses)),
                 ("total annual cost", f"{report.total_cost:.1f}"),
             ],
-            title="Designed CME-NY4 network",
+            title=f"Designed {west_site.name}-{east_site.name} network",
         )
     )
     return 0
@@ -366,7 +397,7 @@ def _cmd_design(args: argparse.Namespace) -> int:
 def _cmd_diff(args: argparse.Namespace) -> int:
     from repro.analysis.monitor import diff_corridor
 
-    scenario = paper2020_scenario()
+    scenario = _scenario(args)
     diff = diff_corridor(
         scenario.database,
         scenario.corridor,
@@ -408,7 +439,7 @@ def _cmd_diff(args: argparse.Namespace) -> int:
 def _cmd_search(args: argparse.Namespace) -> int:
     from repro.serve.payloads import render_payload, search_payload
 
-    scenario = paper2020_scenario()
+    scenario = _scenario(args)
     payload = search_payload(
         scenario, args.lat, args.lon, args.radius_m, args.active_on
     )
@@ -491,10 +522,58 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.compare import compare_corridors
+    from repro.serve.payloads import render_payload
+
+    refs = tuple(args.scenarios) if args.scenarios else None
+    rows = compare_corridors(refs, jobs=args.jobs)
+    if args.format == "json":
+        payload = {
+            "endpoint": "compare",
+            "corridors": [row.as_dict() for row in rows],
+        }
+        print(render_payload(payload))
+        return 0
+    print(
+        format_table(
+            (
+                "Scenario",
+                "Path",
+                "km",
+                "c-bound",
+                "Best MW network",
+                "MW (ms)",
+                "fiber (ms)",
+                "LEO 550",
+                "LEO 300",
+            ),
+            [
+                (
+                    row.scenario,
+                    f"{row.source}-{row.target}",
+                    f"{row.geodesic_km:.0f}",
+                    f"{row.cbound_ms:.3f}",
+                    row.best_licensee or "(none connected)",
+                    format_latency_ms(row.microwave_ms)
+                    if row.microwave_ms is not None
+                    else "-",
+                    f"{row.fiber_ms:.3f}",
+                    f"{row.leo_550_ms:.3f}",
+                    f"{row.leo_300_ms:.3f}",
+                )
+                for row in rows
+            ],
+            title="Hybrid MW / fiber / LEO latency per corridor (one-way)",
+        )
+    )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import CorridorQueryService, run_server
 
-    service = CorridorQueryService(warm=not args.cold)
+    service = CorridorQueryService(scenario=_scenario(args), warm=not args.cold)
 
     def announce(url: str) -> None:
         mode = "cold-per-request baseline" if args.cold else "shared warm engine"
@@ -519,7 +598,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         report = run_load(args.url, profile)
     else:
         # No URL: boot an in-process server, load it, tear it down.
-        service = CorridorQueryService(warm=not args.cold)
+        service = CorridorQueryService(
+            scenario=_scenario(args), warm=not args.cold
+        )
         with CorridorServer(service) as server:
             report = run_load(server.url, profile)
     print(report.describe())
@@ -629,6 +710,13 @@ def _obs_parent_parser() -> argparse.ArgumentParser:
     )
     execution = parent.add_argument_group("execution")
     execution.add_argument(
+        "--scenario", default="paper2020", metavar="NAME[:k=v,...]",
+        help="corridor scenario to run against: a registered name "
+        "('paper2020', 'europe2020', 'tokyo-singapore') or the "
+        "parameterized generator ('synthetic:seed=7,networks=12,...'); "
+        "default paper2020",
+    )
+    execution.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="fan analysis work out over N logical workers "
         "(repro.parallel; output is byte-identical for any N)",
@@ -719,6 +807,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     leo.add_argument("--full", action="store_true", help="print every distance")
     leo.set_defaults(func=_cmd_leo)
+
+    compare = sub.add_parser(
+        "compare",
+        help="hybrid MW/fiber/LEO latency per registered corridor",
+        parents=[obs_parent],
+    )
+    compare.add_argument(
+        "scenarios", nargs="*",
+        help="scenario references to compare (default: every concrete "
+        "registered scenario)",
+    )
+    compare.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json uses the canonical payload encoding)",
+    )
+    compare.set_defaults(func=_cmd_compare)
 
     entities = sub.add_parser(
         "entities", help="resolve co-owned licensees", parents=[obs_parent]
@@ -925,8 +1029,13 @@ def main(argv: list[str] | None = None) -> int:
             trace_sink = obs.JsonLinesSink(Path(trace_path))
             sinks.append(trace_sink)
         obs.enable(sinks=tuple(sinks))
+    from repro.scenarios import ScenarioParamError, UnknownScenarioError
+
     try:
         status = args.func(args)
+    except (UnknownScenarioError, ScenarioParamError) as error:
+        print(f"scenario error: {error}", file=sys.stderr)
+        status = 2
     finally:
         if store is not None:
             # Persist whatever the command learned, then restore the
@@ -944,7 +1053,15 @@ def main(argv: list[str] | None = None) -> int:
             if want_metrics and registry is not None:
                 print(obs.render_metrics(registry), file=sys.stderr)
     if args.cache_stats:
-        print(paper2020_scenario().engine().stats.describe(), file=sys.stderr)
+        # Through the shared resolver: the registry cache hands back the
+        # same scenario (and thus the same warm engine) the command body
+        # used, so the stats describe the work just done — and compose
+        # with --scenario and --cache-dir instead of always describing
+        # a throwaway paper2020 engine.
+        try:
+            print(_scenario(args).engine().stats.describe(), file=sys.stderr)
+        except (UnknownScenarioError, ScenarioParamError):
+            pass  # the command body already reported the bad reference
     return status
 
 

@@ -54,6 +54,22 @@ class CorridorSpec:
         """(west, east) data center name pairs, in declaration order."""
         return tuple((self.west.name, dc.name) for dc in self.east)
 
+    def resolve_path(
+        self, source: str | None = None, target: str | None = None
+    ) -> tuple[str, str]:
+        """Fill unspecified endpoints from the primary (first) path.
+
+        Drivers default ``source``/``target`` to ``None`` and resolve
+        through this, so every workload runs on any corridor without
+        callers naming its data centers; the paper corridor's primary
+        path is CME–NY4.
+        """
+        west, east = self.paths[0]
+        return (
+            source if source is not None else west,
+            target if target is not None else east,
+        )
+
     def site(self, name: str) -> DataCenterSite:
         for dc in self.data_centers:
             if dc.name == name:
@@ -101,3 +117,22 @@ def london_frankfurt_corridor() -> CorridorSpec:
     exists to exercise corridor-agnosticism.
     """
     return CorridorSpec(west=LD4, east=(FR2,))
+
+
+#: Equinix TY3, Tokyo (Shinagawa) — the western anchor of the long-haul
+#: Asian corridor.
+TY3 = DataCenterSite("TY3", GeoPoint(35.6242, 139.7410))
+
+#: Equinix SG1, Singapore (Ayer Rajah).
+SG1 = DataCenterSite("SG1", GeoPoint(1.2931, 103.7865))
+
+
+def tokyo_singapore_corridor() -> CorridorSpec:
+    """The Tokyo–Singapore corridor (TY3 ↔ SG1), ~5,314 km.
+
+    An order of magnitude longer than the paper's corridor and mostly
+    over water — the regime where the Fig 5 LEO-vs-microwave comparison
+    flips.  Like London–Frankfurt, it exists to exercise the tooling on
+    geometry far off the calibrated Chicago path.
+    """
+    return CorridorSpec(west=TY3, east=(SG1,))

@@ -789,8 +789,8 @@ class CorridorEngine:
         self,
         licensee: str,
         dates: Sequence[dt.date],
-        source: str = "CME",
-        target: str = "NY4",
+        source: str | None = None,
+        target: str | None = None,
     ) -> list[TimelinePoint]:
         """The Fig 1 series: one licensee's route latency over a date grid.
 
@@ -801,6 +801,7 @@ class CorridorEngine:
         how the grid resolved (incremental vs full) and the total number
         of license ids that changed state across it.
         """
+        source, target = self.corridor.resolve_path(source, target)
         with obs.span(
             "engine.timeline",
             licensee=licensee,

@@ -99,8 +99,8 @@ def latency_timeline(
     corridor: CorridorSpec,
     licensee: str,
     dates: Sequence[dt.date],
-    source: str = "CME",
-    target: str = "NY4",
+    source: str | None = None,
+    target: str | None = None,
     reconstructor: NetworkReconstructor | None = None,
     engine: CorridorEngine | None = None,
 ) -> list[TimelinePoint]:
@@ -115,6 +115,7 @@ def latency_timeline(
     """
     from repro.core.engine import CorridorEngine
 
+    source, target = corridor.resolve_path(source, target)
     if reconstructor is not None and reconstructor.corridor != corridor:
         raise ValueError(
             "reconstructor.corridor disagrees with the corridor argument"

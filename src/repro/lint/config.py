@@ -132,6 +132,7 @@ DEFAULT_SHARED_STATE_ALLOWED = (
     "repro.lint.registry._REGISTRY",
     "repro.obs.spans._STATE",
     "repro.parallel.executor._WORKER_CONTEXT",
+    "repro.scenarios.registry._REGISTRY",
     "repro.serve.server._ACTIVE_SERVER",
 )
 
@@ -147,6 +148,7 @@ DEFAULT_LAYERS = (
     ("repro.core",),
     ("repro.store",),
     ("repro.leo", "repro.radio", "repro.synth"),
+    ("repro.scenarios",),
     ("repro.metrics",),
     ("repro.viz",),
     ("repro.analysis", "repro.design"),

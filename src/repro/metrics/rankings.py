@@ -53,8 +53,8 @@ def rank_connected_networks(
     database: UlsDatabase,
     corridor: CorridorSpec,
     on_date: dt.date,
-    source: str = "CME",
-    target: str = "NY4",
+    source: str | None = None,
+    target: str | None = None,
     licensees: list[str] | None = None,
     slack: float = APA_SLACK_FACTOR,
     reconstructor: NetworkReconstructor | None = None,
@@ -71,8 +71,10 @@ def rank_connected_networks(
     carries non-default reconstruction parameters and gets a private
     engine.  With ``jobs > 1`` (or a ``session``) the per-licensee work
     fans out; disconnected licensees drop out and the latency sort runs
-    parent-side, so the ranking is jobs-invariant.
+    parent-side, so the ranking is jobs-invariant.  ``source`` /
+    ``target`` default to the corridor's primary path.
     """
+    source, target = corridor.resolve_path(source, target)
     if engine is None:
         engine = CorridorEngine(database, corridor, reconstructor=reconstructor)
     elif reconstructor is not None:

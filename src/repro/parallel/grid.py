@@ -275,9 +275,14 @@ class GridSession:
         *,
         backend: str = "auto",
         scraper=None,
+        scenario: str | None = None,
     ) -> None:
         self.engine = engine
         self.jobs = jobs
+        #: Scenario name this session fans out for (observability only:
+        #: worker seeding is keyed on the engine's database/corridor
+        #: content, so two scenarios never share transplanted caches).
+        self.scenario = scenario
         self.backend = resolve_backend(jobs, backend)
         self.worker = 0
         self._scraper = scraper
@@ -359,13 +364,12 @@ class GridSession:
             key = _normalise_overrides(params)
             keys = [key] * len(items)
         wrapped = list(zip([fn] * len(items), keys, items))
-        with obs.span(
-            "parallel.grid",
-            label=label,
-            items=len(items),
-            jobs=self.jobs,
-            backend=self.backend,
-        ):
+        span_tags = dict(
+            label=label, items=len(items), jobs=self.jobs, backend=self.backend
+        )
+        if self.scenario is not None:
+            span_tags["scenario"] = self.scenario
+        with obs.span("parallel.grid", **span_tags):
             if self.backend != "process":
                 return self._pmap.map(_grid_task, wrapped)
             # Materialise (and thereby seed) every engine this call needs,

@@ -1,0 +1,36 @@
+"""Scenario registry: named, parameterized corridor scenarios.
+
+``repro.scenarios`` is the one place the rest of the system asks "which
+world am I analysing?".  It sits above :mod:`repro.synth` in the layering
+DAG: the synth tier builds a :class:`~repro.synth.scenario.Scenario` from
+specs, this tier names those builders, parses ``NAME[:k=v,...]`` scenario
+references (the CLI ``--scenario`` flag and the serve ``?scenario=``
+request param), and caches resolved scenarios so every caller of the same
+reference shares one scenario — and therefore one warm default engine.
+"""
+
+from repro.scenarios.registry import (
+    ScenarioEntry,
+    ScenarioParamError,
+    ScenarioRef,
+    UnknownScenarioError,
+    parse_scenario_ref,
+    register_scenario,
+    registered_scenarios,
+    resolve_scenario,
+    scenario_names,
+)
+from repro.scenarios.synthetic import synthetic_scenario
+
+__all__ = [
+    "ScenarioEntry",
+    "ScenarioParamError",
+    "ScenarioRef",
+    "UnknownScenarioError",
+    "parse_scenario_ref",
+    "register_scenario",
+    "registered_scenarios",
+    "resolve_scenario",
+    "scenario_names",
+    "synthetic_scenario",
+]

@@ -37,13 +37,6 @@ from repro.viz.geojson import network_to_geojson
 DATE_MIN = dt.date(2012, 1, 1)
 DATE_MAX = dt.date(2021, 12, 31)
 
-#: Table 3's default licensee pair (NLN vs WH), mirrored by ``/apa``.
-APA_DEFAULT_LICENSEES = ("New Line Networks", "Webline Holdings")
-
-#: ``/map``'s default network.
-MAP_DEFAULT_LICENSEE = "New Line Networks"
-
-
 def render_payload(payload: dict) -> str:
     """The one JSON encoding both the server and the CLI emit.
 
@@ -64,10 +57,11 @@ def rankings_payload(
     scenario: Scenario,
     engine: CorridorEngine,
     on_date: dt.date,
-    source: str = "CME",
-    target: str = "NY4",
+    source: str | None = None,
+    target: str | None = None,
 ) -> dict:
     """Table 1 as JSON: connected networks by increasing latency."""
+    source, target = scenario.corridor.resolve_path(source, target)
     rankings = rank_connected_networks(
         scenario.database,
         scenario.corridor,
@@ -98,10 +92,11 @@ def timeline_payload(
     engine: CorridorEngine,
     step: str = "paper",
     licensees: tuple[str, ...] | None = None,
-    source: str = "CME",
-    target: str = "NY4",
+    source: str | None = None,
+    target: str | None = None,
 ) -> dict:
     """Figs 1 + 2 as JSON: latency and license-count series per network."""
+    source, target = scenario.corridor.resolve_path(source, target)
     names = licensees if licensees else scenario.featured_names
     dates = timeline_dates(step)
     series = []
@@ -130,9 +125,12 @@ def apa_payload(
     scenario: Scenario,
     engine: CorridorEngine,
     on_date: dt.date,
-    licensees: tuple[str, ...] = APA_DEFAULT_LICENSEES,
+    licensees: tuple[str, ...] | None = None,
 ) -> dict:
-    """Table 3 as JSON: per-corridor-path APA for the chosen networks."""
+    """Table 3 as JSON: per-corridor-path APA for the chosen networks
+    (defaults to the scenario's spotlight pair)."""
+    if licensees is None:
+        licensees = scenario.spotlight_names
     paths = tuple(scenario.corridor.paths)
     networks = {name: engine.snapshot(name, on_date) for name in licensees}
     return {
@@ -160,8 +158,9 @@ def search_payload(
     radius_m: float | None = None,
     active_on: dt.date | None = None,
 ) -> dict:
-    """Geographic license search as JSON (defaults: around CME)."""
-    cme = scenario.corridor.site("CME").point
+    """Geographic license search as JSON (defaults: around the western
+    anchor)."""
+    cme = scenario.corridor.west.point
     center = cme
     if latitude is not None or longitude is not None:
         center = type(cme)(
@@ -192,10 +191,13 @@ def search_payload(
 def map_payload(
     scenario: Scenario,
     engine: CorridorEngine,
-    licensee: str = MAP_DEFAULT_LICENSEE,
+    licensee: str | None = None,
     on_date: dt.date | None = None,
 ) -> dict:
-    """One network snapshot as a GeoJSON FeatureCollection."""
+    """One network snapshot as a GeoJSON FeatureCollection (defaults to
+    the scenario's first spotlight network)."""
+    if licensee is None:
+        licensee = scenario.spotlight_names[0]
     date = on_date or scenario.snapshot_date
     network = engine.snapshot(licensee, date)
     geojson = network_to_geojson(network)

@@ -2,10 +2,19 @@
 
 :class:`CorridorQueryService` is the transport-free core of the server
 — it maps ``(path, query params)`` to a JSON payload, with every
-engine-touching computation routed through the
+engine-touching computation routed through a
 :class:`~repro.serve.facade.EngineFacade` (lock-scoped, coalesced).
 The HTTP layer (:mod:`repro.serve.server`) is a thin adapter; tests
 exercise the service directly where the socket adds nothing.
+
+One service hosts *many* corridor scenarios: every analysis endpoint
+accepts ``?scenario=NAME[:k=v,...]`` (resolved through
+:mod:`repro.scenarios`), each resolved scenario gets its own
+facade-wrapped warm engine and its own rendered-body cache in an
+engine-per-scenario table built lazily on first request, and
+``/scenarios`` lists what the registry offers and what is already
+loaded.  Requests without the param hit the default scenario exactly
+as before.
 
 Faults are values, not stack traces: every rejected request raises a
 :class:`ServiceError` carrying an HTTP status and a machine-readable
@@ -174,16 +183,30 @@ class ResponseBodyCache:
             }
 
 
+class _ScenarioState:
+    """One hosted scenario: its facade-wrapped engine and body cache."""
+
+    __slots__ = ("scenario", "facade", "bodies")
+
+    def __init__(self, scenario: Scenario, facade: EngineFacade) -> None:
+        self.scenario = scenario
+        self.facade = facade
+        self.bodies = ResponseBodyCache()
+
+
 class CorridorQueryService:
-    """Route validated queries to payload builders over one warm engine.
+    """Route validated queries to payload builders over warm engines.
 
     Parameters
     ----------
     scenario:
-        The corridor scenario served (defaults to ``paper2020``).
+        The *default* corridor scenario — served when a request carries
+        no ``scenario`` param (defaults to ``paper2020``).  Other
+        registered scenarios are loaded on demand into the
+        engine-per-scenario table.
     engine:
-        The shared warm engine behind the facade; defaults to the
-        scenario's shared default engine.
+        The default scenario's shared warm engine behind its facade;
+        defaults to the scenario's shared default engine.
     warm:
         ``False`` builds a *fresh* engine for every request — the
         cold-per-request baseline the serve benchmark compares against
@@ -199,7 +222,19 @@ class CorridorQueryService:
         self.scenario = scenario if scenario is not None else paper2020_scenario()
         self.warm = warm
         shared = engine if engine is not None else self.scenario.engine()
-        self.facade = EngineFacade(shared)
+        self._default_state = _ScenarioState(self.scenario, EngineFacade(shared))
+        # Canonical scenario reference -> loaded state.  The default
+        # scenario sits under its own name, so `?scenario=<default>`
+        # routes to the very same engine and body cache.
+        self._states: dict[str, _ScenarioState] = {
+            self.scenario.name: self._default_state
+        }
+        self._states_lock = threading.Lock()
+        # The state the *current thread's* request resolved; handlers
+        # read it through `_current()`.  Thread-local because requests
+        # for different scenarios run concurrently, and the coalescing
+        # leader computes on the thread that set the value.
+        self._local = threading.local()
         self.routes: dict[str, Callable[[CorridorEngine, dict], dict]] = {
             "/rankings": self._rankings,
             "/timeline": self._timeline,
@@ -207,7 +242,16 @@ class CorridorQueryService:
             "/search": self._search,
             "/map": self._map,
         }
-        self.bodies = ResponseBodyCache()
+
+    @property
+    def facade(self) -> EngineFacade:
+        """The default scenario's facade (service-level request counters)."""
+        return self._default_state.facade
+
+    @property
+    def bodies(self) -> ResponseBodyCache:
+        """The default scenario's rendered-body cache."""
+        return self._default_state.bodies
 
     # ------------------------------------------------------------------
     # Entry points
@@ -221,8 +265,9 @@ class CorridorQueryService:
         and every error path always render fresh.
         """
         key = self._body_key(url)
-        if key is not None:
-            body = self.bodies.get(key, self.facade.engine.database.generation)
+        state = self._body_state(key) if key is not None else None
+        if state is not None:
+            body = state.bodies.get(key, state.facade.engine.database.generation)
             if body is not None:
                 obs.count("serve.body_cache.hit")
                 # A body hit is still a request for accounting purposes.
@@ -232,9 +277,20 @@ class CorridorQueryService:
             obs.count("serve.body_cache.miss")
         status, payload = self.handle_url(url)
         body = (render_payload(payload) + "\n").encode("utf-8")
-        if key is not None and status == 200:
-            self.bodies.put(key, self.facade.engine.database.generation, body)
+        if state is not None and status == 200:
+            state.bodies.put(key, state.facade.engine.database.generation, body)
         return status, body
+
+    def _body_state(self, key: tuple) -> _ScenarioState | None:
+        """The state whose body cache holds ``key``, or ``None``.
+
+        A bad scenario reference returns ``None`` so the request takes
+        the normal (error-rendering, uncached) path.
+        """
+        try:
+            return self._resolve_state(dict(key[1]).get("scenario"))
+        except ServiceError:
+            return None
 
     def _body_key(self, url: str) -> tuple | None:
         """The body-cache key for ``url``, or ``None`` if uncacheable.
@@ -283,42 +339,141 @@ class CorridorQueryService:
             _check_params(params, ())
             stats = self.facade.describe()
             stats["body_cache"] = self.bodies.describe()
+            stats["scenarios"] = self._scenario_stats()
             return stats
+        if path == "/scenarios":
+            _check_params(params, ())
+            return self._scenarios_payload()
         handler = self.routes.get(path)
         if handler is None:
             raise ServiceError(
                 404,
                 "unknown-endpoint",
                 f"no such endpoint: {path!r}; expected one of "
-                f"{sorted(self.routes) + ['/healthz', '/stats']}",
+                f"{sorted(self.routes) + ['/healthz', '/scenarios', '/stats']}",
             )
+        state = self._resolve_state(params.pop("scenario", None))
         key = (path, tuple(sorted(params.items())))
-        with obs.span("serve.request", endpoint=path):
-            obs.count("serve.request" + path.replace("/", "."))
-            return self.facade.coalesced(
-                key, lambda: handler(self._engine(), params)
-            )
+        self._local.state = state
+        try:
+            with obs.span(
+                "serve.request", endpoint=path, scenario=state.scenario.name
+            ):
+                obs.count("serve.request" + path.replace("/", "."))
+                return state.facade.coalesced(
+                    key, lambda: handler(self._engine(), params)
+                )
+        finally:
+            self._local.state = None
+
+    def _current(self) -> _ScenarioState:
+        """The state the current thread's request resolved to."""
+        return getattr(self._local, "state", None) or self._default_state
+
+    def _resolve_state(self, text: str | None) -> _ScenarioState:
+        """The loaded state for a ``scenario`` query param (lazy table).
+
+        ``None``/empty routes to the default.  A reference that resolves
+        to an already-hosted scenario reuses that scenario's facade and
+        body cache — coalescing and generation scoping stay per-engine
+        no matter how many spellings of the reference arrive.
+        """
+        if not text:
+            return self._default_state
+        from repro.scenarios import (
+            ScenarioParamError,
+            UnknownScenarioError,
+            parse_scenario_ref,
+            resolve_scenario,
+        )
+
+        try:
+            canonical = parse_scenario_ref(text).canonical
+            scenario = resolve_scenario(canonical)
+        except UnknownScenarioError as error:
+            raise ServiceError(404, "unknown-scenario", str(error)) from None
+        except ScenarioParamError as error:
+            raise ServiceError(400, "bad-scenario", str(error)) from None
+        with self._states_lock:
+            state = self._states.get(canonical)
+            if state is not None:
+                return state
+            for state in self._states.values():
+                if state.scenario is scenario:
+                    self._states[canonical] = state
+                    return state
+            state = _ScenarioState(scenario, EngineFacade(scenario.engine()))
+            self._states[canonical] = state
+            return state
+
+    def _scenario_stats(self) -> dict:
+        """Per-loaded-scenario facade + body-cache stats for ``/stats``."""
+        with self._states_lock:
+            states = dict(self._states)
+        return {
+            ref: {
+                "scenario": state.scenario.name,
+                "facade": state.facade.describe()["facade"],
+                "body_cache": state.bodies.describe(),
+            }
+            for ref, state in states.items()
+        }
+
+    def _scenarios_payload(self) -> dict:
+        """``/scenarios``: the registry's offerings and what is loaded."""
+        from repro.scenarios import registered_scenarios
+
+        with self._states_lock:
+            loaded = sorted(self._states)
+        return {
+            "endpoint": "scenarios",
+            "default": self.scenario.name,
+            "loaded": loaded,
+            "scenarios": [
+                {
+                    "name": entry.name,
+                    "summary": entry.summary,
+                    "concrete": entry.concrete,
+                    "params": sorted(entry.params),
+                }
+                for entry in registered_scenarios()
+            ],
+        }
 
     def _engine(self) -> CorridorEngine:
+        state = self._current()
         if self.warm:
-            return self.facade.engine
+            return state.facade.engine
         # Cold baseline: a private engine per request, empty caches, and
         # no store — the baseline must really rebuild from scratch.
         return CorridorEngine(
-            self.scenario.database, self.scenario.corridor, store=False
+            state.scenario.database, state.scenario.corridor, store=False
         )
 
     def checkpoint(self):
-        """Persist the warm engine's caches to its attached store.
+        """Persist every loaded warm engine's caches to its store.
 
         The draining-shutdown hook: :meth:`repro.serve.server
         .CorridorServer.close` calls this after the last in-flight
-        request completes, so the next server boot starts warm.  A
-        no-op without a store, or in cold-baseline mode.
+        request completes, so the next server boot starts warm — for
+        every scenario the table loaded, not just the default.  A no-op
+        without a store, or in cold-baseline mode.
         """
         if not self.warm:
             return None
-        return self.facade.engine.checkpoint()
+        with self._states_lock:
+            states = list(self._states.values())
+        result = None
+        seen: set[int] = set()
+        for state in states:
+            engine = state.facade.engine
+            if id(engine) in seen:
+                continue
+            seen.add(id(engine))
+            checkpointed = engine.checkpoint()
+            if state is self._default_state:
+                result = checkpointed
+        return result
 
     # ------------------------------------------------------------------
     # Endpoint handlers (validated params -> payload builders)
@@ -327,14 +482,16 @@ class CorridorQueryService:
     def _licensee_param(
         self, params: dict[str, str], default: str | None = None
     ) -> str | None:
+        scenario = self._current().scenario
         name = params.get("licensee", default)
-        if name is not None and name not in self.scenario.database.licensee_names():
+        if name is not None and name not in scenario.database.licensee_names():
             raise ServiceError(404, "unknown-licensee", f"unknown licensee: {name!r}")
         return name
 
     def _site_param(self, params: dict[str, str], name: str, default: str) -> str:
         site = params.get(name, default)
-        known = sorted({s for path in self.scenario.corridor.paths for s in path})
+        scenario = self._current().scenario
+        known = sorted({s for path in scenario.corridor.paths for s in path})
         if site not in known:
             raise ServiceError(
                 400, "unknown-site", f"{name!r} must be one of {known}, got {site!r}"
@@ -343,10 +500,12 @@ class CorridorQueryService:
 
     def _rankings(self, engine: CorridorEngine, params: dict[str, str]) -> dict:
         _check_params(params, ("date", "source", "target"))
-        date = _date_param(params, "date", self.scenario.snapshot_date)
-        source = self._site_param(params, "source", "CME")
-        target = self._site_param(params, "target", "NY4")
-        return payloads.rankings_payload(self.scenario, engine, date, source, target)
+        scenario = self._current().scenario
+        date = _date_param(params, "date", scenario.snapshot_date)
+        default_source, default_target = scenario.primary_path
+        source = self._site_param(params, "source", default_source)
+        target = self._site_param(params, "target", default_target)
+        return payloads.rankings_payload(scenario, engine, date, source, target)
 
     def _timeline(self, engine: CorridorEngine, params: dict[str, str]) -> dict:
         _check_params(params, ("step", "licensee"))
@@ -359,14 +518,17 @@ class CorridorQueryService:
             )
         licensee = self._licensee_param(params)
         names = (licensee,) if licensee else None
-        return payloads.timeline_payload(self.scenario, engine, step, names)
+        return payloads.timeline_payload(
+            self._current().scenario, engine, step, names
+        )
 
     def _apa(self, engine: CorridorEngine, params: dict[str, str]) -> dict:
         _check_params(params, ("date", "licensee"))
-        date = _date_param(params, "date", self.scenario.snapshot_date)
+        scenario = self._current().scenario
+        date = _date_param(params, "date", scenario.snapshot_date)
         licensee = self._licensee_param(params)
-        names = (licensee,) if licensee else payloads.APA_DEFAULT_LICENSEES
-        return payloads.apa_payload(self.scenario, engine, date, names)
+        names = (licensee,) if licensee else None
+        return payloads.apa_payload(scenario, engine, date, names)
 
     def _search(self, engine: CorridorEngine, params: dict[str, str]) -> dict:
         _check_params(params, ("lat", "lon", "radius_m", "active_on"))
@@ -381,11 +543,12 @@ class CorridorQueryService:
             raise ServiceError(400, "bad-number", "'radius_m' must be positive")
         active_on = _date_param(params, "active_on", None)
         return payloads.search_payload(
-            self.scenario, latitude, longitude, radius_m, active_on
+            self._current().scenario, latitude, longitude, radius_m, active_on
         )
 
     def _map(self, engine: CorridorEngine, params: dict[str, str]) -> dict:
         _check_params(params, ("licensee", "date"))
-        licensee = self._licensee_param(params, payloads.MAP_DEFAULT_LICENSEE)
-        date = _date_param(params, "date", self.scenario.snapshot_date)
-        return payloads.map_payload(self.scenario, engine, licensee, date)
+        scenario = self._current().scenario
+        licensee = self._licensee_param(params, scenario.spotlight_names[0])
+        date = _date_param(params, "date", scenario.snapshot_date)
+        return payloads.map_payload(scenario, engine, licensee, date)

@@ -370,7 +370,7 @@ def _default_email(name: str) -> str:
     return f"ops@{slug}.example.net"
 
 
-def _simple_license(
+def simple_license(
     license_id: str,
     callsign: str,
     name: str,
@@ -413,14 +413,13 @@ _SPLIT_BOUNDARY = 15  # links 0..14 west, 15..29 east
 
 def _split_network_chain(corridor: CorridorSpec) -> list:
     """The full (hidden) Tradewave chain, gateway to gateway."""
-    cme = corridor.site("CME").point
-    ny4 = corridor.site("NY4").point
-    west_gw = chain_points(cme, ny4, 2, 0.0, SmoothNoise(0))[0]
+    west = corridor.west.point
+    east = corridor.east[0].point
     # Gateways ~1.2 km from each data center, towers with mild jitter.
     from repro.geodesy.path import offset_point
 
-    start = offset_point(cme, ny4, 0.001, 0.0)
-    end = offset_point(cme, ny4, 0.999, 0.0)
+    start = offset_point(west, east, 0.001, 0.0)
+    end = offset_point(west, east, 0.999, 0.0)
     return chain_points(
         start, end, _SPLIT_TOTAL_LINKS, 16_000.0, SmoothNoise(8181)
     )
@@ -439,7 +438,7 @@ def _split_half_licenses(
         a, b = chain[link_index], chain[link_index + 1]
         grant = dt.date(2017, 3, 1) + dt.timedelta(days=(link_index * 11) % 300)
         licenses.append(
-            _simple_license(
+            simple_license(
                 license_id=f"{id_prefix}{link_index:03d}",
                 callsign=f"WQ{id_prefix}{link_index:03d}",
                 name=name,
@@ -479,8 +478,8 @@ def partial_builder_licenses(corridor: CorridorSpec) -> list[License]:
     connected networks.  The first "partial builder" is secretly the
     western half of the split Tradewave network (§2.4's blind spot).
     """
-    cme = corridor.site("CME").point
-    ny4 = corridor.site("NY4").point
+    cme = corridor.west.point
+    ny4 = corridor.east[0].point
     licenses: list[License] = list(split_network_west_licenses(corridor))
     for index, name in enumerate(_PARTIAL_BUILDER_NAMES):
         if name == SPLIT_NETWORK_WEST:
@@ -506,7 +505,7 @@ def partial_builder_licenses(corridor: CorridorSpec) -> list[License]:
                 else None
             )
             licenses.append(
-                _simple_license(
+                simple_license(
                     license_id=f"LP{index:02d}{link_index:03d}",
                     callsign=f"WQP{index:02d}{link_index:03d}",
                     name=name,
@@ -521,8 +520,9 @@ def partial_builder_licenses(corridor: CorridorSpec) -> list[License]:
 
 
 def decoy_licenses(corridor: CorridorSpec) -> list[License]:
-    """Small MG/FXO licensees near CME with ≤10 filings (not HFT networks)."""
-    cme = corridor.site("CME").point
+    """Small MG/FXO licensees near the western anchor with ≤10 filings
+    (not HFT networks)."""
+    cme = corridor.west.point
     licenses: list[License] = []
     for index, name in enumerate(_DECOY_NAMES):
         rng = random.Random(600 + index)
@@ -536,7 +536,7 @@ def decoy_licenses(corridor: CorridorSpec) -> list[License]:
             )
             grant = dt.date(rng.randint(2008, 2019), rng.randint(1, 12), 15)
             licenses.append(
-                _simple_license(
+                simple_license(
                     license_id=f"LD{index:02d}{filing:02d}",
                     callsign=f"WQD{index:02d}{filing:02d}",
                     name=name,
@@ -551,15 +551,16 @@ def decoy_licenses(corridor: CorridorSpec) -> list[License]:
 
 
 def non_mg_licenses(corridor: CorridorSpec) -> list[License]:
-    """Licensees near CME filtered out by the MG/FXO site search."""
-    cme = corridor.site("CME").point
+    """Licensees near the western anchor filtered out by the MG/FXO site
+    search."""
+    cme = corridor.west.point
     licenses: list[License] = []
     for index, (name, service, klass) in enumerate(_NON_MG_NAMES):
         rng = random.Random(700 + index)
         hub = geodesic_destination(cme, rng.uniform(0.0, 360.0), rng.uniform(1000.0, 9000.0))
         remote = geodesic_destination(hub, rng.uniform(0.0, 360.0), 12_000.0)
         licenses.append(
-            _simple_license(
+            simple_license(
                 license_id=f"LX{index:02d}",
                 callsign=f"WQX{index:02d}",
                 name=name,
@@ -581,23 +582,44 @@ def non_mg_licenses(corridor: CorridorSpec) -> list[License]:
 
 @dataclass(frozen=True)
 class Scenario:
-    """A corridor plus its full synthetic ULS database."""
+    """A corridor plus its full synthetic ULS database.
+
+    ``name`` identifies the scenario in the registry
+    (:mod:`repro.scenarios`), CLI output paths and serve routing.
+    ``featured`` / ``spotlight`` parameterise which licensees the
+    timeline figures and the APA / weather / map defaults focus on; when
+    unset they fall back to the connected networks (so any corridor
+    works without per-scenario tuning).
+    """
 
     corridor: CorridorSpec
     database: UlsDatabase
     snapshot_date: dt.date
     connected_names: tuple[str, ...]
+    name: str = "paper2020"
+    featured: tuple[str, ...] | None = None
+    spotlight: tuple[str, ...] | None = None
 
     @property
     def featured_names(self) -> tuple[str, ...]:
-        """The five networks of Figs 1 and 2."""
-        return (
-            "National Tower Company",
-            "Webline Holdings",
-            "Jefferson Microwave",
-            "Pierce Broadband",
-            "New Line Networks",
-        )
+        """The networks of the Fig 1 / Fig 2 timelines."""
+        if self.featured is not None:
+            return self.featured
+        return self.connected_names
+
+    @property
+    def spotlight_names(self) -> tuple[str, ...]:
+        """The licensee pair the APA / weather / map workloads default to
+        (the paper's NLN-vs-WH §5 comparison for ``paper2020``)."""
+        if self.spotlight is not None:
+            return self.spotlight
+        return self.featured_names[:2]
+
+    @property
+    def primary_path(self) -> tuple[str, str]:
+        """The corridor's first (source, target) pair — the pair every
+        driver ranks on when no explicit path is requested."""
+        return self.corridor.paths[0]
 
     def engine(self, **params) -> "CorridorEngine":
         """The scenario's :class:`~repro.core.engine.CorridorEngine`.
@@ -621,22 +643,43 @@ class Scenario:
         return cached
 
 
+#: The five networks of the paper's Figs 1 and 2.
+PAPER_FEATURED_NAMES = (
+    "National Tower Company",
+    "Webline Holdings",
+    "Jefferson Microwave",
+    "Pierce Broadband",
+    "New Line Networks",
+)
+
+#: The §5 deep-dive pair (Table 3 APA, weather, map defaults).
+PAPER_SPOTLIGHT_NAMES = ("New Line Networks", "Webline Holdings")
+
+
 def build_scenario(
     specs: tuple[NetworkSpec, ...] | None = None,
     include_funnel_extras: bool = True,
     corridor: CorridorSpec | None = None,
+    name: str = "paper2020",
+    featured: tuple[str, ...] | None = None,
+    spotlight: tuple[str, ...] | None = None,
 ) -> Scenario:
     """Build a scenario from specs (defaults to the paper's networks).
 
     Passing a different ``corridor`` (e.g.
     :func:`repro.core.corridor.london_frankfurt_corridor`) with matching
     specs builds a scenario for any two-anchor corridor; the funnel
-    extras (partial builders, decoys) are Chicago-specific and should be
-    disabled for other corridors.
+    extras (partial builders, decoys, non-MG licensees) generalise to any
+    corridor — they anchor on ``corridor.west`` — but represent the §2.2
+    Chicago funnel, so other corridors may disable them.
     """
     corridor = corridor or chicago_nj_corridor()
     if specs is None:
         specs = connected_network_specs() + (national_tower_company_spec(),)
+        if featured is None:
+            featured = PAPER_FEATURED_NAMES
+        if spotlight is None:
+            spotlight = PAPER_SPOTLIGHT_NAMES
     database = UlsDatabase()
     connected: list[str] = []
     for spec in specs:
@@ -654,6 +697,9 @@ def build_scenario(
         database=database,
         snapshot_date=SNAPSHOT_DATE,
         connected_names=tuple(connected),
+        name=name,
+        featured=featured,
+        spotlight=spotlight,
     )
 
 
@@ -722,4 +768,72 @@ def europe2020_scenario() -> Scenario:
         specs=europe_network_specs(),
         include_funnel_extras=False,
         corridor=london_frankfurt_corridor(),
+        name="europe2020",
+        spotlight=("Channel Wave Networks", "Rhine Crossing Comm"),
+    )
+
+
+def asia_network_specs() -> tuple[NetworkSpec, ...]:
+    """Synthetic networks for the Tokyo–Singapore corridor.
+
+    TY3–SG1 is ~5,314 km (c-bound 17.7243 ms) — an order of magnitude
+    longer than the paper's corridor, mostly over water, in the regime
+    where the Fig 5 LEO bound overtakes terrestrial microwave.  Hop
+    spacing (~45–55 km) matches the other corridors; targets sit 0.3–0.7%
+    above the c-bound like the paper's fastest networks.
+    """
+    return (
+        NetworkSpec(
+            name="Pacific Rim Relay",
+            callsign_prefix="JPPR",
+            seed=51,
+            trunk_links=104,
+            ny4_target_ms=17.7780,
+            frequency_profile=_11GHZ,
+            trunk_bypass_covered=tuple(range(2, 104, 4)),
+            eras=(EraSpec(_D(2016, 3, 1), 17.9200, 104, seed_salt=1),),
+            final_era_start=_D(2019, 1, 15),
+            gateway_west_km=0.8,
+            gateway_east_km=0.7,
+        ),
+        NetworkSpec(
+            name="Straits Microwave",
+            callsign_prefix="SGSM",
+            seed=52,
+            trunk_links=112,
+            ny4_target_ms=17.7960,
+            frequency_profile=_WH_FREQS,
+            trunk_bypass_covered=tuple(range(0, 112, 2)),
+            eras=(EraSpec(_D(2015, 8, 1), 17.9500, 112, seed_salt=1),),
+            final_era_start=_D(2018, 6, 1),
+            gateway_west_km=0.8,
+            gateway_east_km=0.7,
+            spacing_profile="mixed",
+        ),
+        NetworkSpec(
+            name="Archipelago Wave",
+            callsign_prefix="IDAW",
+            seed=53,
+            trunk_links=96,
+            ny4_target_ms=17.8420,
+            frequency_profile=_MIX_11_18,
+            eras=(EraSpec(_D(2017, 2, 1), 17.9900, 96, seed_salt=1),),
+            final_era_start=_D(2019, 9, 1),
+            gateway_west_km=0.8,
+            gateway_east_km=0.7,
+        ),
+    )
+
+
+@lru_cache(maxsize=1)
+def tokyo_singapore_scenario() -> Scenario:
+    """A Tokyo–Singapore long-haul scenario (cached)."""
+    from repro.core.corridor import tokyo_singapore_corridor
+
+    return build_scenario(
+        specs=asia_network_specs(),
+        include_funnel_extras=False,
+        corridor=tokyo_singapore_corridor(),
+        name="tokyo-singapore",
+        spotlight=("Pacific Rim Relay", "Straits Microwave"),
     )

@@ -1,0 +1,116 @@
+"""The hybrid MW/fiber/LEO corridor comparison (Fig 5, per corridor)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.compare import (
+    CorridorComparison,
+    compare_corridor,
+    compare_corridors,
+)
+from repro.serve.payloads import render_payload
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return compare_corridors()
+
+
+class TestCompareCorridor:
+    def test_paper_row(self, scenario, engine):
+        row = compare_corridor("paper2020")
+        assert row.scenario == "paper2020"
+        assert (row.source, row.target) == ("CME", "NY4")
+        assert row.geodesic_km == pytest.approx(1186.0, abs=1.0)
+        assert row.best_licensee == "New Line Networks"
+        assert f"{row.microwave_ms:.5f}" == "3.96172"
+        # The paper's §6 ordering on the short corridor: the measured
+        # microwave network sits just above c and *below* both LEO
+        # bounds, and LEO still undercuts the fiber route.
+        assert row.cbound_ms < row.microwave_ms < row.leo_300_ms
+        assert row.microwave_beats_leo is True
+        assert row.leo_beats_fiber is True
+
+    def test_tokyo_regime_change(self):
+        row = compare_corridor("tokyo-singapore")
+        assert row.geodesic_km == pytest.approx(5313.6, abs=1.0)
+        # Long haul: the LEO bounds slide under fiber by a wide margin
+        # and close to within ~1 ms of the calibrated microwave network.
+        assert row.leo_550_ms < row.fiber_ms / 1.8
+        assert row.leo_300_ms - row.microwave_ms < 1.0
+        assert row.microwave_beats_leo is True
+
+    def test_synthetic_reference_accepted(self):
+        row = compare_corridor("synthetic:seed=2,networks=1,links=12")
+        assert row.scenario == "synthetic-s2-n1-l12"
+        assert row.best_licensee == "Synthetic Net 01"
+
+
+class TestCompareCorridors:
+    def test_defaults_to_concrete_scenarios_sorted_by_length(self, rows):
+        assert [row.scenario for row in rows] == [
+            "europe2020",
+            "paper2020",
+            "tokyo-singapore",
+        ]
+        lengths = [row.geodesic_km for row in rows]
+        assert lengths == sorted(lengths)
+
+    def test_every_row_is_physical(self, rows):
+        for row in rows:
+            assert row.cbound_ms < row.microwave_ms
+            assert row.cbound_ms < row.leo_300_ms < row.leo_550_ms
+            assert row.microwave_ms < row.fiber_ms
+
+    def test_explicit_refs_respected(self):
+        rows = compare_corridors(("paper2020",))
+        assert [row.scenario for row in rows] == ["paper2020"]
+
+    def test_as_dict_renders_canonically(self, rows):
+        payload = {"corridors": [row.as_dict() for row in rows]}
+        decoded = json.loads(render_payload(payload))
+        assert [c["scenario"] for c in decoded["corridors"]] == [
+            row.scenario for row in rows
+        ]
+        assert decoded["corridors"][0]["leo_beats_fiber"] is True
+
+    def test_deterministic_across_calls(self, rows):
+        assert [row.as_dict() for row in compare_corridors()] == [
+            row.as_dict() for row in rows
+        ]
+
+
+class TestCompareCli:
+    def test_text_table(self, capsys):
+        from repro.cli import main
+
+        assert main(["compare", "europe2020", "paper2020"]) == 0
+        out = capsys.readouterr().out
+        assert "Hybrid MW / fiber / LEO latency per corridor" in out
+        assert "LD4-FR2" in out and "CME-NY4" in out
+
+    def test_json_payload(self, capsys):
+        from repro.cli import main
+
+        assert main(["compare", "paper2020", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["endpoint"] == "compare"
+        (row,) = payload["corridors"]
+        assert row["scenario"] == "paper2020"
+        assert row["microwave_beats_leo"] is True
+
+    def test_bad_reference_exits_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["compare", "nowhere2020"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_comparison_is_frozen():
+    row = compare_corridor("paper2020")
+    assert isinstance(row, CorridorComparison)
+    with pytest.raises(AttributeError):
+        row.scenario = "other"

@@ -620,6 +620,72 @@ class TestServeTierFixtures:
         )
         assert "src/repro/serve/loadgen.py" in config.obs_allowed_paths()
 
+    def test_repo_config_wires_the_scenarios_tier(self):
+        """The scenario registry is tiered between synth and metrics.
+
+        ``repro.scenarios`` imports the synth builders and is imported by
+        analysis/serve/cli, so it must sit strictly above the synth tier
+        and strictly below analysis — in both the baked-in defaults and
+        the pyproject mirror (they must stay in lockstep).
+        """
+        from repro.lint.config import (
+            DEFAULT_LAYERS,
+            DEFAULT_SHARED_STATE_ALLOWED,
+            load_config,
+        )
+
+        tiers = list(DEFAULT_LAYERS)
+        scenarios_index = tiers.index(("repro.scenarios",))
+        synth_index = next(
+            index for index, tier in enumerate(tiers) if "repro.synth" in tier
+        )
+        analysis_index = next(
+            index for index, tier in enumerate(tiers) if "repro.analysis" in tier
+        )
+        assert synth_index < scenarios_index < analysis_index
+        assert (
+            "repro.scenarios.registry._REGISTRY" in DEFAULT_SHARED_STATE_ALLOWED
+        )
+
+        config = load_config(root=REPO_ROOT)
+        assert tuple(config.layering_layers()) == tuple(DEFAULT_LAYERS)
+        assert tuple(config.shared_state_allowed()) == tuple(
+            DEFAULT_SHARED_STATE_ALLOWED
+        )
+
+    def test_registry_style_upward_import_flagged(self, tmp_path):
+        """A registry-shaped mid-tier module importing upward is caught."""
+        files = {
+            "src/pkg/__init__.py": "",
+            "src/pkg/synth.py": "def build():\n    return 1\n",
+            "src/pkg/scenarios.py": """
+                from pkg.analysis import drive
+
+                def resolve():
+                    return drive()
+                """,
+            "src/pkg/analysis.py": """
+                def drive():
+                    return 2
+                """,
+        }
+        result = run_flow_lint(
+            tmp_path,
+            files,
+            enabled=("layering",),
+            **{
+                "layering": {
+                    "layers": [
+                        ["pkg.synth"],
+                        ["pkg.scenarios"],
+                        ["pkg.analysis"],
+                    ]
+                }
+            },
+        )
+        assert [f.rule for f in result.findings] == ["layering"]
+        assert "pkg.analysis" in result.findings[0].message
+
 
 class TestDeadCodeRule:
     def test_unreachable_private_function_flagged(self, tmp_path):

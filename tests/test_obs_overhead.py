@@ -71,7 +71,7 @@ PINNED_SIGNATURES = {
     ),
     "repro.core.engine.CorridorEngine.timeline": (
         "(self, licensee: 'str', dates: 'Sequence[dt.date]', "
-        "source: 'str' = 'CME', target: 'str' = 'NY4') "
+        "source: 'str | None' = None, target: 'str | None' = None) "
         "-> 'list[TimelinePoint]'"
     ),
     "repro.core.reconstruction.NetworkReconstructor.reconstruct": (
